@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper's evaluation
+section.  They share one trained :class:`EvaluationContext` per session so
+that the offline calibration cost is paid exactly once.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.context import EvaluationContext  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def context() -> EvaluationContext:
+    """A fully trained evaluation context shared by every benchmark."""
+    return EvaluationContext.create()
+
+
+def emit(title: str, body: str) -> None:
+    """Print a rendered table/series so ``pytest -s`` shows the paper data."""
+    print(f"\n=== {title} ===\n{body}\n")

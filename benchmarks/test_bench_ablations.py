@@ -1,0 +1,98 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These go beyond the paper's own evaluation: they quantify what the
+interference term, the hand-designed Table 4 basis, and the exhaustive
+search contribute, and how robust the pipeline is to measurement noise.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.analysis.ablation import (
+    basis_function_ablation,
+    interference_term_ablation,
+    noise_sensitivity_ablation,
+    search_strategy_ablation,
+)
+
+
+def test_bench_ablation_interference_term(benchmark, context):
+    """Dropping the D·J(F_j) term must cost accuracy on co-run predictions."""
+    result = benchmark.pedantic(
+        interference_term_ablation, args=(context,), rounds=1, iterations=1
+    )
+    emit(
+        "Ablation — interference term",
+        f"full model      : throughput {result.full_throughput_mape_pct:.1f}%  "
+        f"fairness {result.full_fairness_mape_pct:.1f}%\n"
+        f"scalability only: throughput {result.no_interference_throughput_mape_pct:.1f}%  "
+        f"fairness {result.no_interference_fairness_mape_pct:.1f}%",
+    )
+    assert result.no_interference_throughput_mape_pct >= result.full_throughput_mape_pct
+    assert result.throughput_degradation_pct >= 0.0
+
+
+def test_bench_ablation_search_strategy(benchmark, context):
+    """Hill climbing (the paper's scaling suggestion) matches exhaustive
+    search on the paper-sized candidate space."""
+    result = benchmark.pedantic(search_strategy_ablation, args=(context,), rounds=1, iterations=1)
+    emit(
+        "Ablation — search strategy",
+        f"workloads compared      : {result.n_workloads}\n"
+        f"identical decisions     : {result.n_same_decision} ({result.agreement:.0%})\n"
+        f"mean objective ratio    : {result.mean_objective_ratio:.4f}\n"
+        f"candidates (exhaustive) : {result.exhaustive_candidates_evaluated}\n"
+        f"candidates (hill climb) : {result.hill_climbing_candidates_evaluated}",
+    )
+    assert result.agreement >= 0.8
+    assert result.mean_objective_ratio >= 0.98
+    assert result.hill_climbing_candidates_evaluated <= result.exhaustive_candidates_evaluated
+
+
+@pytest.mark.slow
+def test_bench_ablation_basis_functions(benchmark, context):
+    """The Table 4 basis against regressing on raw counters."""
+    result = benchmark.pedantic(
+        basis_function_ablation,
+        args=(context,),
+        kwargs={"power_caps": (250.0,)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation — basis functions",
+        "\n".join(
+            f"{name:12s}: throughput {result.throughput_mape_pct[name]:.1f}%  "
+            f"fairness {result.fairness_mape_pct[name]:.1f}%"
+            for name in result.throughput_mape_pct
+        ),
+    )
+    assert set(result.throughput_mape_pct) == {"table4", "raw-counters"}
+    for value in result.throughput_mape_pct.values():
+        assert value < 40.0
+
+
+@pytest.mark.slow
+def test_bench_ablation_noise_sensitivity(benchmark):
+    """Model error as a function of the measurement-noise level."""
+    result = benchmark.pedantic(
+        noise_sensitivity_ablation,
+        kwargs={"sigmas": (0.0, 0.03, 0.08), "power_caps": (250.0,)},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Ablation — measurement-noise sensitivity",
+        "\n".join(
+            f"sigma={sigma:4.2f}: throughput {result.throughput_mape_pct_by_sigma[sigma]:.1f}%  "
+            f"fairness {result.fairness_mape_pct_by_sigma[sigma]:.1f}%"
+            for sigma in sorted(result.throughput_mape_pct_by_sigma)
+        ),
+    )
+    errors = result.throughput_mape_pct_by_sigma
+    # More measurement noise cannot make the model *more* accurate.
+    assert errors[0.08] >= errors[0.0] - 0.5
+    for value in errors.values():
+        assert value < 30.0

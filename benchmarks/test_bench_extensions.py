@@ -1,0 +1,91 @@
+"""Benchmarks for the future-work extensions (beyond the paper's evaluation).
+
+* **Flexible partitioning** — Section 6 of the paper argues the methodology
+  extends to finer-grained partitioning on future GPUs; this bench runs the
+  allocator over *every* realizable two-application partition state and
+  reports how much extra throughput the enlarged space offers and how much
+  of it the model-driven allocator captures.
+* **Generalization** — leave-one-benchmark-out validation of the
+  scalability term and held-out-pair validation of the interference term:
+  the error a *new* application (or pair) would see after only a profile
+  run.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.extensions import (
+    flexible_partitioning_study,
+    held_out_pair_validation,
+    leave_one_out_validation,
+)
+from repro.analysis.report import ascii_table
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.noise import no_noise
+from repro.workloads.pairs import corun_pair
+
+
+def test_bench_flexible_partitioning(benchmark):
+    pairs = [corun_pair(n) for n in ("TI-MI2", "CI-US1", "MI-MI2", "TI-US1", "CI-CI1", "CI-MI1")]
+    study = benchmark.pedantic(
+        flexible_partitioning_study,
+        kwargs={"simulator": PerformanceSimulator(noise=no_noise()), "pairs": pairs},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        f"Extension — flexible partitioning over {study.n_states} states "
+        f"(P={study.power_cap_w:.0f} W, alpha={study.alpha})",
+        ascii_table(
+            ["workload", "best (S1-S4)", "best (all states)", "proposal", "gain", "prop/best"],
+            [
+                (
+                    row.pair,
+                    f"{row.best_paper_states:.3f}",
+                    f"{row.best_flexible_states:.3f}",
+                    f"{row.proposal_flexible:.3f}",
+                    f"{row.flexibility_gain:.3f}",
+                    f"{row.proposal_vs_best:.3f}",
+                )
+                for row in study.rows
+            ],
+        ),
+    )
+    assert study.n_states > 4
+    assert study.mean_flexibility_gain >= 1.0
+    assert study.mean_proposal_vs_best > 0.85
+
+
+def test_bench_leave_one_out_validation(benchmark):
+    result = benchmark.pedantic(
+        leave_one_out_validation,
+        kwargs={"simulator": PerformanceSimulator(noise=no_noise()), "power_caps": (150.0, 250.0)},
+        rounds=1,
+        iterations=1,
+    )
+    worst = result.worst_benchmark
+    emit(
+        "Extension — leave-one-benchmark-out validation of the scalability term",
+        f"mean held-out error : {result.mean_error_pct:.1f}%\n"
+        f"worst benchmark     : {worst} ({result.error_of(worst):.1f}%)",
+    )
+    assert result.mean_error_pct < 30.0
+
+
+def test_bench_held_out_pair_validation(benchmark, context):
+    result = benchmark.pedantic(
+        held_out_pair_validation,
+        args=(context,),
+        kwargs={"held_out_pairs": ("TI-MI2", "CI-US1", "MI-MI2")},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Extension — held-out co-run pairs (interference-term generalization)",
+        "\n".join(
+            f"{pair}: {error:.1f}%" for pair, error in sorted(result.per_pair_error_pct.items())
+        )
+        + f"\nmean: {result.mean_error_pct:.1f}%",
+    )
+    assert result.mean_error_pct < 30.0

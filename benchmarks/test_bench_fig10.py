@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 10: Problem 1 geomean throughput vs power cap.
+
+Paper shape: for every cap between 150 W and 250 W the proposal's geometric
+mean throughput is close to the best configuration's, and the achievable
+throughput grows (mildly) with the allowed power.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.figures import figure10_problem1_power_sweep
+from repro.analysis.report import render_power_sweep
+
+
+def test_bench_figure10_problem1_power_sweep(benchmark, context):
+    data = benchmark.pedantic(
+        figure10_problem1_power_sweep, args=(context,), rounds=1, iterations=1
+    )
+    emit("Figure 10 — Problem 1 geomean throughput vs power cap (alpha=0.2)", render_power_sweep(data))
+    geomeans = data.geomeans()
+    assert [cap for cap, *_ in geomeans] == list(context.config.power_caps)
+    for _, worst, proposal, best in geomeans:
+        assert worst <= proposal + 1e-9 <= best + 1e-9
+        assert proposal >= 0.93 * best
+    proposals = [row[2] for row in geomeans]
+    # More power never hurts the proposal's throughput (within noise).
+    assert proposals[-1] >= proposals[0] - 0.01
+    # No fairness violations at any cap.
+    for summary in data.per_power_cap.values():
+        assert summary.fairness_violations == 0

@@ -1,0 +1,54 @@
+"""Benchmark regenerating Figure 11: Problem 2 energy efficiency.
+
+Paper shape: for both fairness thresholds (alpha = 0.20 and 0.42) the
+proposal's energy efficiency (throughput per watt of cap) is close to the
+best measured combination of partition state and power cap, and clearly
+better than the worst feasible one.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.figures import figure11_problem2_efficiency
+from repro.analysis.report import render_comparison
+
+
+def test_bench_figure11_problem2_efficiency(benchmark, context):
+    data = benchmark.pedantic(
+        figure11_problem2_efficiency, args=(context,), rounds=1, iterations=1
+    )
+    for alpha, summary in sorted(data.per_alpha.items()):
+        emit(
+            f"Figure 11 — Problem 2 energy efficiency (alpha={alpha})",
+            render_comparison(summary, "throughput/W"),
+        )
+    assert set(data.per_alpha) == {0.20, 0.42}
+    for alpha, summary in data.per_alpha.items():
+        for row in summary.rows:
+            # Worst/best are taken over the *feasible* measured combinations,
+            # so the sandwich only has to hold when the proposal itself met
+            # the fairness constraint.
+            if not row.fairness_violated:
+                assert row.worst - 1e-12 <= row.proposal <= row.best + 1e-12
+        assert summary.geomean_proposal >= 0.9 * summary.geomean_best
+        assert summary.geomean_proposal > 1.2 * summary.geomean_worst
+
+    # At alpha=0.2 every Table 8 workload has feasible configurations and the
+    # proposal never violates the constraint (as in the paper).
+    assert len(data.per_alpha[0.20].rows) == 18
+    assert data.per_alpha[0.20].fairness_violations == 0
+    # alpha=0.42 sits exactly at the paper's feasibility edge; on our
+    # simulated substrate a few workloads have no feasible configuration at
+    # all and a handful of proposals land marginally below the threshold
+    # (documented in EXPERIMENTS.md).  Keep those deviations bounded.
+    assert len(data.per_alpha[0.42].rows) >= 12
+    assert data.per_alpha[0.42].fairness_violations <= 6
+    # The looser threshold admits lower power caps, so its best achievable
+    # efficiency is at least as good as under the strict threshold for every
+    # workload present in both sweeps.
+    loose = {row.pair: row.best for row in data.per_alpha[0.20].rows}
+    strict = {row.pair: row.best for row in data.per_alpha[0.42].rows}
+    shared = set(loose) & set(strict)
+    assert shared
+    assert all(loose[p] >= strict[p] - 1e-12 for p in shared)

@@ -1,0 +1,53 @@
+"""Benchmark regenerating Figure 12: Problem 2 power-cap selections.
+
+Paper shape: the selected cap differs per workload and is sensitive to the
+fairness threshold — with the stricter alpha the allocator has to grant more
+power to the workloads that suffer from throttling (the Tensor-/compute-
+intensive mixes), while memory-bound and unscalable mixes stay at low caps.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.figures import figure12_problem2_power_selection
+from repro.analysis.report import ascii_table
+
+
+def test_bench_figure12_problem2_power_selection(benchmark, context):
+    data = benchmark.pedantic(
+        figure12_problem2_power_selection, args=(context,), rounds=1, iterations=1
+    )
+    for alpha, rows in sorted(data.per_alpha.items()):
+        emit(
+            f"Figure 12 — Problem 2 selected power caps (alpha={alpha})",
+            ascii_table(
+                ["workload", "worst P[W]", "proposal P[W]", "best P[W]"],
+                [
+                    (r.pair, f"{r.worst_power_w:.0f}", f"{r.proposal_power_w:.0f}", f"{r.best_power_w:.0f}")
+                    for r in rows
+                ],
+            ),
+        )
+
+    low = {r.pair: r for r in data.per_alpha[0.20]}
+    high = {r.pair: r for r in data.per_alpha[0.42]}
+    shared = sorted(set(low) & set(high))
+    assert len(low) == 18
+    assert len(shared) >= 12
+
+    # Every selected cap comes from the Table 5 grid.
+    for rows in data.per_alpha.values():
+        for row in rows:
+            assert row.proposal_power_w in context.config.power_caps
+            assert row.best_power_w in context.config.power_caps
+
+    # The proposal never *reduces* the cap when the constraint tightens, and
+    # the measured-best cap strictly increases for at least one workload.
+    assert all(high[p].proposal_power_w >= low[p].proposal_power_w for p in shared)
+    assert any(high[p].best_power_w > low[p].best_power_w for p in shared)
+
+    # Unscalable pairs are the cheapest to run: their proposal picks the
+    # lowest cap at the relaxed threshold.
+    assert low["US-US1"].proposal_power_w == min(context.config.power_caps)
+    assert low["US-US2"].proposal_power_w == min(context.config.power_caps)

@@ -1,0 +1,46 @@
+"""Benchmark regenerating Figure 4: scalability per partitioning option.
+
+Paper shape (P = 250 W, one benchmark per class):
+
+* ``kmeans`` (US) — flat near 1.0 for any GPC count and either option;
+* ``stream`` (MI) — the *private* option scales with the memory slices the
+  partition owns, the *shared* option saturates with very few GPCs;
+* ``dgemm``/``hgemm`` (CI/TI) — scale with the GPC count, and the memory
+  option makes no difference.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.figures import figure4_scalability_partitioning
+from repro.analysis.report import render_scalability
+from repro.gpu.mig import MemoryOption
+
+
+def test_bench_figure4_scalability_partitioning(benchmark, context):
+    data = benchmark.pedantic(
+        figure4_scalability_partitioning, args=(context,), rounds=1, iterations=1
+    )
+    emit("Figure 4 — scalability vs partitioning option (250 W)", render_scalability(data, ""))
+
+    # kmeans: un-scalable, flat.
+    for option in (MemoryOption.PRIVATE, MemoryOption.SHARED):
+        curve = data.curve("kmeans", option)
+        assert curve.value_at(1) > 0.9 and curve.value_at(7) > 0.9
+
+    # stream: option matters; private tracks the slice count.
+    stream_private = data.curve("stream", MemoryOption.PRIVATE)
+    stream_shared = data.curve("stream", MemoryOption.SHARED)
+    assert stream_private.value_at(1) < 0.25
+    assert stream_private.value_at(7) > 0.9
+    assert stream_shared.value_at(2) > 0.85
+    assert stream_shared.value_at(3) > 2 * stream_private.value_at(3) * 0.9
+
+    # dgemm / hgemm: scale with GPCs, option-insensitive.
+    for name in ("dgemm", "hgemm"):
+        private = data.curve(name, MemoryOption.PRIVATE)
+        shared = data.curve(name, MemoryOption.SHARED)
+        for gpcs in (1, 2, 3, 4, 7):
+            assert abs(private.value_at(gpcs) - shared.value_at(gpcs)) < 0.1
+        assert private.value_at(7) > 4 * private.value_at(1)

@@ -1,0 +1,46 @@
+"""Benchmark regenerating Figure 5: scalability per power cap (shared option).
+
+Paper shape: lowering the chip cap from 250 W to 150 W barely moves kmeans
+and stream, visibly slows dgemm at large GPC counts, and hits the
+Tensor-Core-intensive hgemm hardest; small partitions are unaffected because
+they cannot draw enough power to hit the cap.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.analysis.figures import figure5_scalability_power
+from repro.analysis.report import render_scalability
+
+
+def test_bench_figure5_scalability_power_caps(benchmark, context):
+    data = benchmark.pedantic(figure5_scalability_power, args=(context,), rounds=1, iterations=1)
+    emit("Figure 5 — scalability vs power cap (shared option)", render_scalability(data, ""))
+
+    def drop_at_7gpcs(kernel: str) -> float:
+        return 1.0 - data.curve(kernel, 150).value_at(7) / data.curve(kernel, 250).value_at(7)
+
+    # Power capping matters most for the Tensor-intensive kernel, then the
+    # compute-intensive one, and is negligible for memory-bound/unscalable.
+    assert drop_at_7gpcs("hgemm") > 0.15
+    assert drop_at_7gpcs("hgemm") > drop_at_7gpcs("dgemm")
+    assert drop_at_7gpcs("dgemm") > 0.02
+    assert abs(drop_at_7gpcs("stream")) < 0.05
+    assert abs(drop_at_7gpcs("kmeans")) < 0.05
+
+    # Small partitions never hit the cap.
+    for kernel in ("hgemm", "dgemm"):
+        assert data.curve(kernel, 150).value_at(1) == pytest.approx(
+            data.curve(kernel, 250).value_at(1), rel=0.06
+        )
+
+    # Trend check: raising the cap from 150 W to 250 W never hurts, at any
+    # scale.  (Adjacent caps are not compared point-by-point because each
+    # measured point carries independent noise of a few percent.)
+    for kernel in ("hgemm", "dgemm", "stream", "kmeans"):
+        for gpcs in (1, 4, 7):
+            low = data.curve(kernel, 150).value_at(gpcs)
+            high = data.curve(kernel, 250).value_at(gpcs)
+            assert high >= low - 0.08

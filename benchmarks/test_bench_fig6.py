@@ -1,0 +1,38 @@
+"""Benchmark regenerating Figure 6: co-run throughput per partition state.
+
+Paper shape (P = 250 W):
+
+* **TI-MI2** (igemm4 + stream) — the best configuration gives the Tensor
+  kernel the larger partition and uses the *shared* memory option so that
+  stream can use the whole chip bandwidth (S1); the paper reports the best
+  state beating the worst by ~34 %.
+* **CI-US** (the paper's prose example is dgemm + dwt2d) — the *private*
+  option wins because the kernels need no extra bandwidth and isolation
+  removes the LLC interference; the paper reports ~25 % over the worst.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.figures import figure6_corun_throughput
+from repro.analysis.report import render_figure6
+
+
+def test_bench_figure6_corun_throughput(benchmark, context):
+    data = benchmark.pedantic(figure6_corun_throughput, args=(context,), rounds=1, iterations=1)
+    emit("Figure 6 — co-run throughput per partition state (250 W)", render_figure6(data))
+
+    # TI-MI2: shared + more GPCs for the Tensor kernel wins by a wide margin.
+    assert data.best_state("TI-MI2") == "S1"
+    assert data.spread("TI-MI2") > 1.2  # paper: 1.34
+
+    # CI-US1: a private configuration wins (interference isolation).
+    assert data.best_state("CI-US1") in ("S3", "S4")
+    assert data.spread("CI-US1") > 1.05  # paper: 1.25 for its CI-US example
+
+    # The S1-vs-S2 ordering encodes the job-allocation decision: giving the
+    # Tensor-intensive application the larger share must beat the opposite.
+    ti_mi = data.throughput["TI-MI2"]
+    assert ti_mi["S1"] > ti_mi["S2"]
+    assert ti_mi["S3"] > ti_mi["S4"]

@@ -1,0 +1,44 @@
+"""Benchmark regenerating Figure 8 and the Section 5.2.1 accuracy statistic.
+
+Paper numbers: the linear model tracks the measured throughput and fairness
+across all 18 workloads and the four states; the average relative error over
+all hardware setups is about 9.7 % for throughput and 14.5 % for fairness.
+The reproduction asserts the same order of magnitude (the substrate differs,
+so the exact figures do not transfer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.errors import model_error_summary
+from repro.analysis.figures import figure8_model_accuracy
+from repro.analysis.report import render_figure8
+
+
+def test_bench_figure8_accuracy_at_250w(benchmark, context):
+    data = benchmark.pedantic(
+        figure8_model_accuracy, args=(context,), kwargs={"power_cap_w": 250.0}, rounds=1, iterations=1
+    )
+    emit("Figure 8 — estimated vs measured throughput/fairness (250 W)", render_figure8(data))
+    assert len(data.rows) == 18 * 4
+    assert data.throughput_mape_pct < 15.0
+    assert data.fairness_mape_pct < 20.0
+    measured = np.array([r.measured_throughput for r in data.rows])
+    estimated = np.array([r.estimated_throughput for r in data.rows])
+    assert np.corrcoef(measured, estimated)[0, 1] > 0.9
+
+
+def test_bench_model_error_all_caps(benchmark, context):
+    """The paper's headline accuracy number, averaged over every power cap."""
+    summary = benchmark.pedantic(model_error_summary, args=(context,), rounds=1, iterations=1)
+    emit(
+        "Section 5.2.1 — average model error across all workloads and hardware setups",
+        f"throughput error: {summary.throughput_mape_pct:.1f}%  (paper: ~9.7%)\n"
+        f"fairness error  : {summary.fairness_mape_pct:.1f}%  (paper: ~14.5%)\n"
+        f"samples         : {summary.n_samples}",
+    )
+    assert summary.n_samples == 18 * 4 * 6
+    assert summary.throughput_mape_pct < 15.0
+    assert summary.fairness_mape_pct < 20.0

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 9: Problem 1 at 230 W, alpha = 0.2.
+
+Paper shape: across all 18 workloads the proposal's throughput sits close to
+the measured best (geometric means 1.52 vs 1.54 on the A100), clearly above
+the worst feasible configuration, with no fairness violations.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.figures import figure9_problem1
+from repro.analysis.report import render_comparison
+
+
+def test_bench_figure9_problem1_throughput(benchmark, context):
+    data = benchmark.pedantic(figure9_problem1, args=(context,), rounds=1, iterations=1)
+    emit(
+        f"Figure 9 — Problem 1 throughput (P={data.power_cap_w:.0f} W, alpha={data.alpha})",
+        render_comparison(data.comparison, "throughput"),
+    )
+    summary = data.comparison
+    assert len(summary.rows) == 18
+    # Proposal ranks between worst and best for every workload ...
+    for row in summary.rows:
+        assert row.worst - 1e-9 <= row.proposal <= row.best + 1e-9
+    # ... and is near-optimal in the geometric mean (paper: 1.52 vs 1.54).
+    assert summary.geomean_proposal >= 0.95 * summary.geomean_best
+    assert summary.geomean_proposal > summary.geomean_worst
+    # No fairness violations occurred for the proposal (as in the paper).
+    assert summary.fairness_violations == 0

@@ -1,0 +1,76 @@
+"""Runtime (wall-clock) benchmarks of the library's hot paths.
+
+These are conventional pytest-benchmark micro-benchmarks: they time the
+pieces a job manager would run in its scheduling loop (profile lookup +
+model prediction + search) and the simulator underneath, so regressions in
+the library's own performance are visible.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import ResourcePowerAllocator
+from repro.core.policies import Problem2Policy
+from repro.gpu.mig import S1, MemoryOption, solo_state
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.noise import no_noise
+from repro.workloads.pairs import corun_pair
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+def test_bench_runtime_solo_simulation(benchmark):
+    """Simulating one solo run (roofline + governor bisection)."""
+    simulator = PerformanceSimulator(noise=no_noise())
+    kernel = DEFAULT_SUITE.get("hgemm")
+    state = solo_state(4, MemoryOption.SHARED)
+    result = benchmark(lambda: simulator.solo_run(kernel, state, 190.0))
+    assert result.relative_performance > 0
+
+
+def test_bench_runtime_corun_simulation(benchmark):
+    """Simulating one co-run (bandwidth fixed point nested in the governor)."""
+    simulator = PerformanceSimulator(noise=no_noise())
+    kernels = list(corun_pair("TI-MI2").kernels())
+    result = benchmark(lambda: simulator.co_run(kernels, S1, 210.0))
+    assert result.weighted_speedup > 0
+
+
+def test_bench_runtime_profile_collection(benchmark):
+    """Collecting one profile (counter synthesis)."""
+    simulator = PerformanceSimulator(noise=no_noise())
+    kernel = DEFAULT_SUITE.get("srad")
+    counters = benchmark(lambda: simulator.profile(kernel))
+    assert counters.compute_throughput > 0
+
+
+def test_bench_runtime_online_decision(benchmark, context):
+    """One online allocation decision (the latency a job scheduler sees)."""
+    allocator = ResourcePowerAllocator(
+        context.model,
+        candidate_states=context.config.candidate_states,
+        power_caps=context.config.power_caps,
+    )
+    counters = list(context.pair_profiles(corun_pair("CI-MI1")))
+    policy = Problem2Policy(alpha=0.2, power_caps=context.config.power_caps)
+    decision = benchmark(lambda: allocator.solve(counters, policy))
+    assert decision.state in context.config.candidate_states
+
+
+def test_bench_runtime_offline_training(benchmark):
+    """The full offline calibration on a reduced grid (kept small so the
+    harness stays fast; the full grid is exercised by the figure benches)."""
+    from repro.core.workflow import PaperWorkflow, TrainingPlan
+
+    def train():
+        workflow = PaperWorkflow(
+            simulator=PerformanceSimulator(noise=no_noise()),
+            plan=TrainingPlan(
+                gpc_counts=(3, 4),
+                options=(MemoryOption.SHARED, MemoryOption.PRIVATE),
+                power_caps=(150.0, 250.0),
+            ),
+            power_caps=(150.0, 250.0),
+        )
+        return workflow.train()
+
+    model = benchmark.pedantic(train, rounds=1, iterations=1)
+    assert model.fitted_scalability_states()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Power-capped co-scheduling study across all Table 8 workloads.
+
+Solves both optimization problems for every co-run workload of the paper and
+compares the allocator's choice against the measured best and worst
+configurations — the study behind Figures 9–13.
+
+Run with::
+
+    python examples/power_capped_coscheduling.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    EvaluationContext,
+    figure9_problem1,
+    figure10_problem1_power_sweep,
+    figure11_problem2_efficiency,
+    figure12_problem2_power_selection,
+    model_error_summary,
+)
+from repro.analysis.report import ascii_table, render_comparison, render_power_sweep
+
+
+def main() -> None:
+    print("Building the evaluation context (offline training)...\n")
+    context = EvaluationContext.create()
+
+    # ------------------------------------------------------------------
+    # Model accuracy (Section 5.2.1)
+    # ------------------------------------------------------------------
+    errors = model_error_summary(context)
+    print(
+        f"Model accuracy over {errors.n_samples} (workload, state, cap) combinations: "
+        f"throughput error {errors.throughput_mape_pct:.1f}%, "
+        f"fairness error {errors.fairness_mape_pct:.1f}% "
+        f"(paper: 9.7% / 14.5%)\n"
+    )
+
+    # ------------------------------------------------------------------
+    # Problem 1: throughput at a fixed cap
+    # ------------------------------------------------------------------
+    fig9 = figure9_problem1(context)
+    print(f"Problem 1 — throughput at {fig9.power_cap_w:.0f} W, alpha={fig9.alpha}:")
+    print(render_comparison(fig9.comparison, "throughput"))
+    print()
+
+    fig10 = figure10_problem1_power_sweep(context)
+    print("Problem 1 — geometric-mean throughput vs. power cap:")
+    print(render_power_sweep(fig10))
+    print()
+
+    # ------------------------------------------------------------------
+    # Problem 2: energy efficiency with the cap as a free variable
+    # ------------------------------------------------------------------
+    fig11 = figure11_problem2_efficiency(context)
+    for alpha, summary in sorted(fig11.per_alpha.items()):
+        print(f"Problem 2 — energy efficiency, alpha={alpha}:")
+        print(render_comparison(summary, "throughput/W"))
+        print()
+
+    fig12 = figure12_problem2_power_selection(context)
+    for alpha, rows in sorted(fig12.per_alpha.items()):
+        print(f"Problem 2 — selected power caps, alpha={alpha}:")
+        print(
+            ascii_table(
+                ["workload", "worst P[W]", "proposal P[W]", "best P[W]"],
+                [
+                    (r.pair, f"{r.worst_power_w:.0f}", f"{r.proposal_power_w:.0f}", f"{r.best_power_w:.0f}")
+                    for r in rows
+                ],
+            )
+        )
+        print()
+
+
+if __name__ == "__main__":
+    main()

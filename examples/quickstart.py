@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: from nothing to a partitioning + power-cap decision.
+
+This walks the paper's workflow (Figure 7) end to end on the simulated
+A100-class GPU:
+
+1. offline: calibrate the linear performance model on the benchmark suite;
+2. online: profile the two applications we want to co-locate (first run);
+3. ask the Resource & Power Allocator for the best partition state and
+   power cap under both optimization problems;
+4. verify the decision against the simulator's measured ground truth.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PaperWorkflow
+from repro.gpu.mig import CORUN_STATES
+from repro.workloads.pairs import corun_pair
+
+
+def main() -> None:
+    pair = corun_pair("TI-MI2")  # igemm4 (Tensor intensive) + stream (memory intensive)
+    print(f"Co-location candidate: {pair.describe()}\n")
+
+    # ------------------------------------------------------------------
+    # Offline: train the model coefficients (solo + co-run sweeps).
+    # ------------------------------------------------------------------
+    workflow = PaperWorkflow()
+    workflow.train()
+    print("Offline training done:")
+    report = workflow.offline.trainer.last_report
+    if report is not None:
+        print(f"  solo measurements : {report.n_solo_measurements}")
+        print(f"  co-run measurements: {report.n_corun_measurements}\n")
+
+    # ------------------------------------------------------------------
+    # Online: Problem 1 (throughput at a given cap) and Problem 2
+    # (energy efficiency, cap chosen by the allocator).
+    # ------------------------------------------------------------------
+    decision1 = workflow.decide_problem1([pair.app1, pair.app2], power_cap_w=230, alpha=0.2)
+    print("Problem 1 (max throughput @ 230 W, fairness > 0.2):")
+    print(f"  {decision1.describe()}")
+
+    decision2 = workflow.decide_problem2([pair.app1, pair.app2], alpha=0.2)
+    print("Problem 2 (max throughput/P, fairness > 0.2):")
+    print(f"  {decision2.describe()}\n")
+
+    # ------------------------------------------------------------------
+    # Verify against the measured (simulated) ground truth.
+    # ------------------------------------------------------------------
+    simulator = workflow.simulator
+    kernels = list(pair.kernels())
+    print("Measured throughput at 230 W for every candidate state:")
+    for state in CORUN_STATES:
+        result = simulator.co_run(kernels, state, 230)
+        marker = "  <-- selected" if state.key() == decision1.state.key() else ""
+        print(
+            f"  {state.describe():28s} WS={result.weighted_speedup:.3f} "
+            f"fairness={result.fairness:.3f}{marker}"
+        )
+
+    chosen = simulator.co_run(kernels, decision1.state, 230)
+    best = max(
+        simulator.co_run(kernels, state, 230).weighted_speedup for state in CORUN_STATES
+    )
+    print(
+        f"\nThe selected state achieves {100 * chosen.weighted_speedup / best:.1f}% "
+        "of the best measured throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""repro — reproduction of *"Optimizing Hardware Resource Partitioning and
+Job Allocations on Modern GPUs under Power Caps"* (Arima et al., ICPP
+Workshops 2022) on a simulated A100-class substrate.
+
+The library is organised in layers (see ``DESIGN.md`` for the full map):
+
+* :mod:`repro.gpu` — simulated A100-class GPU: MIG partitioning, chip power
+  model, power-cap governor, NVML-style administration facade.
+* :mod:`repro.workloads` — analytic models of the paper's benchmarks
+  (CUTLASS GEMM variants, Rodinia kernels, stream/randomaccess) and the
+  Table 7 classification / Table 8 co-run pairs.
+* :mod:`repro.sim` — the execution simulator (roofline composition, LLC/HBM
+  interference, DVFS under power caps, measurement noise, profiling).
+* :mod:`repro.profiling` — profile collection and the profile database.
+* :mod:`repro.core` — the paper's contribution: Table 4 basis functions,
+  the linear-regression performance model, least-squares calibration,
+  throughput/fairness/energy-efficiency metrics, the two optimization
+  problems, and the Resource & Power Allocator.
+* :mod:`repro.cluster` — a compact job manager / co-scheduler around the
+  allocator (the paper's Figure 1 context).
+* :mod:`repro.analysis` — regeneration of every table and figure of the
+  paper's evaluation, plus ablations.
+
+Quickstart
+----------
+>>> from repro import PaperWorkflow
+>>> workflow = PaperWorkflow()
+>>> workflow.train()                                    # offline calibration
+>>> decision = workflow.decide_problem1(["igemm4", "stream"], power_cap_w=230)
+>>> decision.state.describe(), decision.power_cap_w
+"""
+
+from repro._version import VERSION, __version__
+from repro.config import DEFAULT_CONFIG, DEFAULT_POWER_CAPS, EvaluationConfig
+from repro.core import (
+    AllocationDecision,
+    LinearPerfModel,
+    ModelTrainer,
+    OfflineTrainer,
+    OnlineAllocator,
+    PaperWorkflow,
+    Problem1Policy,
+    Problem2Policy,
+    ResourcePowerAllocator,
+)
+from repro.gpu import (
+    A100_SPEC,
+    CORUN_STATES,
+    GPUSpec,
+    MemoryOption,
+    MIGManager,
+    PartitionState,
+    S1,
+    S2,
+    S3,
+    S4,
+    SimulatedSMI,
+    solo_state,
+)
+from repro.profiling import ProfileCollector, ProfileDatabase, ProfileRecord
+from repro.sim import CoRunResult, NoiseModel, PerformanceSimulator, RunResult
+from repro.workloads import (
+    CORUN_PAIRS,
+    DEFAULT_SUITE,
+    BenchmarkSuite,
+    KernelCharacteristics,
+    WorkloadClass,
+    get_kernel,
+)
+
+__all__ = [
+    "__version__",
+    "VERSION",
+    "EvaluationConfig",
+    "DEFAULT_CONFIG",
+    "DEFAULT_POWER_CAPS",
+    # GPU substrate
+    "GPUSpec",
+    "A100_SPEC",
+    "MemoryOption",
+    "PartitionState",
+    "MIGManager",
+    "SimulatedSMI",
+    "CORUN_STATES",
+    "S1",
+    "S2",
+    "S3",
+    "S4",
+    "solo_state",
+    # Workloads
+    "KernelCharacteristics",
+    "WorkloadClass",
+    "BenchmarkSuite",
+    "DEFAULT_SUITE",
+    "CORUN_PAIRS",
+    "get_kernel",
+    # Simulator
+    "PerformanceSimulator",
+    "RunResult",
+    "CoRunResult",
+    "NoiseModel",
+    # Profiling
+    "ProfileRecord",
+    "ProfileCollector",
+    "ProfileDatabase",
+    # Core methodology
+    "LinearPerfModel",
+    "ModelTrainer",
+    "ResourcePowerAllocator",
+    "AllocationDecision",
+    "Problem1Policy",
+    "Problem2Policy",
+    "OfflineTrainer",
+    "OnlineAllocator",
+    "PaperWorkflow",
+]

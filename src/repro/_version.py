@@ -1,0 +1,6 @@
+"""Version information for the :mod:`repro` package."""
+
+__version__ = "0.1.0"
+
+#: Version tuple ``(major, minor, patch)`` parsed from :data:`__version__`.
+VERSION = tuple(int(part) for part in __version__.split("."))

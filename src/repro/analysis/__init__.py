@@ -1,0 +1,54 @@
+"""Evaluation and analysis: regenerating the paper's tables and figures.
+
+Every table and figure of the paper's evaluation section has a corresponding
+generator here, returning plain dataclasses that the benchmark harnesses
+print and assert on:
+
+* Tables 6–8 — :mod:`repro.analysis.tables`
+* Figures 4–6 (observations) and 8–13 (evaluation) —
+  :mod:`repro.analysis.figures`
+* Model-accuracy statistics (Section 5.2.1) — :mod:`repro.analysis.errors`
+* Design-choice ablations (ours, motivated by Section 6) —
+  :mod:`repro.analysis.ablation`
+* Plain-text rendering — :mod:`repro.analysis.report`
+
+All generators accept an :class:`~repro.analysis.context.EvaluationContext`
+so that the (comparatively expensive) offline training is shared.
+"""
+
+from repro.analysis.context import EvaluationContext
+from repro.analysis.errors import ModelErrorSummary, model_error_summary
+from repro.analysis.figures import (
+    figure4_scalability_partitioning,
+    figure5_scalability_power,
+    figure6_corun_throughput,
+    figure8_model_accuracy,
+    figure9_problem1,
+    figure10_problem1_power_sweep,
+    figure11_problem2_efficiency,
+    figure12_problem2_power_selection,
+    figure13_efficiency_vs_alpha,
+)
+from repro.analysis.tables import (
+    table6_gemm_variants,
+    table7_classification,
+    table8_corun_pairs,
+)
+
+__all__ = [
+    "EvaluationContext",
+    "ModelErrorSummary",
+    "model_error_summary",
+    "figure4_scalability_partitioning",
+    "figure5_scalability_power",
+    "figure6_corun_throughput",
+    "figure8_model_accuracy",
+    "figure9_problem1",
+    "figure10_problem1_power_sweep",
+    "figure11_problem2_efficiency",
+    "figure12_problem2_power_selection",
+    "figure13_efficiency_vs_alpha",
+    "table6_gemm_variants",
+    "table7_classification",
+    "table8_corun_pairs",
+]

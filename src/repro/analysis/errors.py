@@ -1,0 +1,56 @@
+"""Model-error statistics (Section 5.2.1).
+
+The paper reports the average relative error of the model across *all*
+workloads and hardware setups: about 9.7 % for the throughput metric and
+14.5 % for the fairness metric.  :func:`model_error_summary` computes the
+same statistic over the simulator's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.analysis.context import EvaluationContext
+from repro.analysis.figures import Figure8Data, figure8_model_accuracy
+
+
+@dataclass(frozen=True)
+class ModelErrorSummary:
+    """Average model errors across workloads, states, and power caps."""
+
+    throughput_mape_pct: float
+    fairness_mape_pct: float
+    per_power_cap: Mapping[float, Figure8Data]
+    n_samples: int
+
+    def worst_power_cap(self) -> float:
+        """The power cap with the largest throughput error."""
+        return max(
+            self.per_power_cap,
+            key=lambda cap: self.per_power_cap[cap].throughput_mape_pct,
+        )
+
+
+def model_error_summary(
+    context: EvaluationContext,
+    power_caps: Sequence[float] | None = None,
+) -> ModelErrorSummary:
+    """Average relative model error across the full evaluation grid."""
+    caps = tuple(power_caps) if power_caps is not None else context.config.power_caps
+    per_cap: dict[float, Figure8Data] = {}
+    throughput_errors: list[float] = []
+    fairness_errors: list[float] = []
+    n_samples = 0
+    for cap in caps:
+        data = figure8_model_accuracy(context, power_cap_w=float(cap))
+        per_cap[float(cap)] = data
+        throughput_errors.extend(row.throughput_error for row in data.rows)
+        fairness_errors.extend(row.fairness_error for row in data.rows)
+        n_samples += len(data.rows)
+    return ModelErrorSummary(
+        throughput_mape_pct=100.0 * sum(throughput_errors) / len(throughput_errors),
+        fairness_mape_pct=100.0 * sum(fairness_errors) / len(fairness_errors),
+        per_power_cap=per_cap,
+        n_samples=n_samples,
+    )

@@ -1,0 +1,194 @@
+"""Export of evaluation data to CSV / JSON.
+
+The benchmark harness prints tables; anyone who wants to *plot* the
+reproduction against the paper needs the raw series in machine-readable
+form.  This module flattens the figure dataclasses into rows and writes
+them as CSV or JSON, and can dump a whole evaluation bundle in one call.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.context import EvaluationContext
+from repro.analysis.errors import model_error_summary
+from repro.analysis.figures import (
+    ComparisonSummary,
+    Figure4Data,
+    Figure5Data,
+    Figure6Data,
+    Figure8Data,
+    figure4_scalability_partitioning,
+    figure5_scalability_power,
+    figure6_corun_throughput,
+    figure8_model_accuracy,
+    figure9_problem1,
+    figure11_problem2_efficiency,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ExportedTable:
+    """A flattened table: column names plus value rows."""
+
+    name: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ConfigurationError(
+                    f"table {self.name!r}: row width {len(row)} does not match "
+                    f"{len(self.columns)} columns"
+                )
+
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the table as a CSV file and return its path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+        return path
+
+    def to_records(self) -> list[dict]:
+        """The table as a list of dictionaries (JSON friendly)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+# ----------------------------------------------------------------------
+# Flattening of figure data
+# ----------------------------------------------------------------------
+def scalability_table(data: Figure4Data | Figure5Data, name: str) -> ExportedTable:
+    """Flatten Figure 4/5-style scalability curves."""
+    rows = [
+        (curve.kernel, curve.label, gpcs, value)
+        for curve in data.curves
+        for gpcs, value in curve.points
+    ]
+    return ExportedTable(
+        name=name,
+        columns=("kernel", "series", "gpcs", "relative_performance"),
+        rows=tuple(rows),
+    )
+
+
+def corun_throughput_table(data: Figure6Data, name: str = "figure6") -> ExportedTable:
+    """Flatten Figure 6 (throughput per state)."""
+    rows = [
+        (pair, state_label, value)
+        for pair, per_state in data.throughput.items()
+        for state_label, value in per_state.items()
+    ]
+    return ExportedTable(name=name, columns=("workload", "state", "weighted_speedup"), rows=tuple(rows))
+
+
+def accuracy_table(data: Figure8Data, name: str = "figure8") -> ExportedTable:
+    """Flatten Figure 8 (estimated vs measured)."""
+    rows = [
+        (
+            row.pair,
+            row.state_label,
+            row.power_cap_w,
+            row.measured_throughput,
+            row.estimated_throughput,
+            row.measured_fairness,
+            row.estimated_fairness,
+        )
+        for row in data.rows
+    ]
+    return ExportedTable(
+        name=name,
+        columns=(
+            "workload",
+            "state",
+            "power_cap_w",
+            "measured_throughput",
+            "estimated_throughput",
+            "measured_fairness",
+            "estimated_fairness",
+        ),
+        rows=tuple(rows),
+    )
+
+
+def comparison_table(summary: ComparisonSummary, name: str) -> ExportedTable:
+    """Flatten a Figure 9/11-style worst/proposal/best comparison."""
+    rows = [
+        (
+            row.pair,
+            row.worst,
+            row.proposal,
+            row.best,
+            row.proposal_state,
+            row.proposal_power_cap_w,
+            row.fairness_violated,
+        )
+        for row in summary.rows
+    ]
+    return ExportedTable(
+        name=name,
+        columns=("workload", "worst", "proposal", "best", "proposal_state", "proposal_power_w", "violated"),
+        rows=tuple(rows),
+    )
+
+
+# ----------------------------------------------------------------------
+# Bundle export
+# ----------------------------------------------------------------------
+def export_evaluation_bundle(
+    context: EvaluationContext,
+    directory: str | Path,
+    figures: Sequence[int] = (4, 5, 6, 8, 9, 11),
+) -> Mapping[str, Path]:
+    """Export the selected figures' data as CSV files plus a JSON manifest.
+
+    Returns a mapping from artifact name to the written path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+
+    tables: list[ExportedTable] = []
+    if 4 in figures:
+        tables.append(scalability_table(figure4_scalability_partitioning(context), "figure4"))
+    if 5 in figures:
+        tables.append(scalability_table(figure5_scalability_power(context), "figure5"))
+    if 6 in figures:
+        tables.append(corun_throughput_table(figure6_corun_throughput(context)))
+    if 8 in figures:
+        tables.append(accuracy_table(figure8_model_accuracy(context)))
+    if 9 in figures:
+        tables.append(comparison_table(figure9_problem1(context).comparison, "figure9"))
+    if 11 in figures:
+        data = figure11_problem2_efficiency(context)
+        for alpha, summary in sorted(data.per_alpha.items()):
+            tables.append(comparison_table(summary, f"figure11_alpha{alpha:.2f}"))
+
+    for table in tables:
+        written[table.name] = table.to_csv(directory / f"{table.name}.csv")
+
+    errors = model_error_summary(context)
+    manifest = {
+        "device": context.simulator.spec.name,
+        "power_caps_w": list(context.config.power_caps),
+        "candidate_states": [state.describe() for state in context.config.candidate_states],
+        "model_error": {
+            "throughput_mape_pct": errors.throughput_mape_pct,
+            "fairness_mape_pct": errors.fairness_mape_pct,
+            "n_samples": errors.n_samples,
+        },
+        "artifacts": {name: str(path.name) for name, path in written.items()},
+    }
+    manifest_path = directory / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+    written["manifest"] = manifest_path
+    return written

@@ -1,0 +1,252 @@
+"""Extensions beyond the paper's evaluation.
+
+Two studies the paper explicitly defers to future hardware / future work:
+
+* **Flexible partitioning** (Section 6): today's MIG only realizes the 4+3
+  split for two applications, but the methodology "is extensible" to finer
+  splits.  :func:`flexible_partitioning_study` enumerates *every* realizable
+  two-application partition state (2+2, 1+4, 3+3, ... as allowed by the GPC
+  and memory-slice budgets), re-trains the model over that larger space, and
+  quantifies how much throughput the extra freedom buys — and whether the
+  allocator still finds it.
+* **Leave-one-out generalization**: the paper trains and evaluates on the
+  same benchmark set; :func:`leave_one_out_validation` withholds one
+  benchmark at a time from the scalability calibration and measures the
+  prediction error on the held-out application, which is the error a *new*
+  application would see after only its profile run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.context import EvaluationContext
+from repro.config import DEFAULT_POWER_CAPS
+from repro.core.model import HardwareStateKey
+from repro.core.optimizer import ResourcePowerAllocator
+from repro.core.policies import Problem1Policy
+from repro.core.training import ModelTrainer, collect_corun_measurements, collect_solo_measurements
+from repro.core.workflow import PaperWorkflow, TrainingPlan
+from repro.errors import InfeasibleProblemError
+from repro.gpu.mig import CORUN_STATES, MemoryOption, enumerate_corun_states
+from repro.sim.engine import PerformanceSimulator
+from repro.workloads.pairs import CORUN_PAIRS
+from repro.workloads.suite import BenchmarkSuite, DEFAULT_SUITE
+
+
+# ----------------------------------------------------------------------
+# Flexible partitioning (future-hardware study)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FlexiblePartitioningRow:
+    """Per-workload outcome of the flexible-partitioning study."""
+
+    pair: str
+    best_paper_states: float
+    best_flexible_states: float
+    proposal_flexible: float
+    proposal_state: str
+
+    @property
+    def flexibility_gain(self) -> float:
+        """Measured best with the full state space over the 4+3-only best."""
+        return self.best_flexible_states / self.best_paper_states
+
+    @property
+    def proposal_vs_best(self) -> float:
+        """How much of the flexible-space optimum the allocator captures."""
+        return self.proposal_flexible / self.best_flexible_states
+
+
+@dataclass(frozen=True)
+class FlexiblePartitioningStudy:
+    """Outcome of the flexible-partitioning extension study."""
+
+    rows: tuple[FlexiblePartitioningRow, ...]
+    n_states: int
+    power_cap_w: float
+    alpha: float
+
+    @property
+    def mean_flexibility_gain(self) -> float:
+        """Average measured gain of the enlarged state space."""
+        return float(np.mean([row.flexibility_gain for row in self.rows]))
+
+    @property
+    def mean_proposal_vs_best(self) -> float:
+        """Average fraction of the flexible-space optimum the model captures."""
+        return float(np.mean([row.proposal_vs_best for row in self.rows]))
+
+
+def flexible_partitioning_study(
+    simulator: PerformanceSimulator | None = None,
+    suite: BenchmarkSuite = DEFAULT_SUITE,
+    pairs: Sequence = CORUN_PAIRS,
+    power_cap_w: float = 230.0,
+    alpha: float = 0.2,
+) -> FlexiblePartitioningStudy:
+    """Evaluate the allocator over every realizable two-application state."""
+    simulator = simulator if simulator is not None else PerformanceSimulator()
+    states = enumerate_corun_states(simulator.spec)
+    gpc_sizes = tuple(sorted({g for state in states for g in state.gpc_allocations}))
+    workflow = PaperWorkflow(
+        simulator=simulator,
+        suite=suite,
+        plan=TrainingPlan(
+            gpc_counts=gpc_sizes,
+            options=(MemoryOption.SHARED, MemoryOption.PRIVATE),
+            power_caps=(power_cap_w,),
+            states=states,
+        ),
+        candidate_states=states,
+        power_caps=(power_cap_w,),
+    )
+    workflow.train()
+    allocator = workflow.online
+
+    rows: list[FlexiblePartitioningRow] = []
+    for pair in pairs:
+        kernels = list(pair.kernels(suite))
+        measured = {}
+        for state in states:
+            result = simulator.co_run(kernels, state, power_cap_w)
+            if result.fairness > alpha:
+                measured[state.key()] = result.weighted_speedup
+        if not measured:
+            continue
+        paper_keys = [state.key() for state in CORUN_STATES]
+        paper_feasible = [measured[key] for key in paper_keys if key in measured]
+        if not paper_feasible:
+            continue
+        try:
+            decision = allocator.decide(
+                [pair.app1, pair.app2], Problem1Policy(power_cap_w=power_cap_w, alpha=alpha)
+            )
+            proposal = simulator.co_run(kernels, decision.state, power_cap_w).weighted_speedup
+            proposal_state = decision.state.describe()
+        except InfeasibleProblemError:
+            proposal = min(measured.values())
+            proposal_state = "infeasible"
+        rows.append(
+            FlexiblePartitioningRow(
+                pair=pair.name,
+                best_paper_states=max(paper_feasible),
+                best_flexible_states=max(measured.values()),
+                proposal_flexible=proposal,
+                proposal_state=proposal_state,
+            )
+        )
+    return FlexiblePartitioningStudy(
+        rows=tuple(rows),
+        n_states=len(states),
+        power_cap_w=power_cap_w,
+        alpha=alpha,
+    )
+
+
+# ----------------------------------------------------------------------
+# Leave-one-out generalization of the scalability model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LeaveOneOutResult:
+    """Held-out prediction errors of the scalability term."""
+
+    per_benchmark_error_pct: Mapping[str, float]
+    mean_error_pct: float
+    worst_benchmark: str
+
+    def error_of(self, name: str) -> float:
+        """Held-out error of one benchmark (percent)."""
+        return self.per_benchmark_error_pct[name]
+
+
+def leave_one_out_validation(
+    simulator: PerformanceSimulator | None = None,
+    suite: BenchmarkSuite = DEFAULT_SUITE,
+    gpc_counts: Sequence[int] = (3, 4),
+    options: Sequence[MemoryOption] = (MemoryOption.SHARED, MemoryOption.PRIVATE),
+    power_caps: Sequence[float] = (150.0, 250.0),
+) -> LeaveOneOutResult:
+    """Withhold each benchmark from calibration and predict its solo behaviour."""
+    simulator = simulator if simulator is not None else PerformanceSimulator()
+    names = suite.names()
+    measurements = collect_solo_measurements(
+        simulator, suite.all(), gpc_counts=gpc_counts, options=options, power_caps=power_caps
+    )
+    errors: dict[str, float] = {}
+    for held_out in names:
+        training = [m for m in measurements if m.kernel_name != held_out]
+        testing = [m for m in measurements if m.kernel_name == held_out]
+        model = ModelTrainer().fit_scalability(training)
+        per_point = [
+            abs(model.predict_solo(m.counters, m.key) - m.relative_performance)
+            / max(m.relative_performance, 1e-9)
+            for m in testing
+        ]
+        errors[held_out] = 100.0 * float(np.mean(per_point))
+    worst = max(errors, key=errors.get)
+    return LeaveOneOutResult(
+        per_benchmark_error_pct=errors,
+        mean_error_pct=float(np.mean(list(errors.values()))),
+        worst_benchmark=worst,
+    )
+
+
+# ----------------------------------------------------------------------
+# Interference-term cross-validation on co-run pairs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HeldOutPairResult:
+    """Prediction error for co-run pairs excluded from calibration."""
+
+    per_pair_error_pct: Mapping[str, float]
+    mean_error_pct: float
+
+
+def held_out_pair_validation(
+    context: EvaluationContext,
+    held_out_pairs: Sequence[str] = ("TI-MI2", "CI-US1", "MI-MI2"),
+    power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
+) -> HeldOutPairResult:
+    """Train the interference term without some pairs, test on exactly those."""
+    simulator = context.simulator
+    suite = context.suite
+    held_out = set(held_out_pairs)
+    training_pairs = [p for p in CORUN_PAIRS if p.name not in held_out]
+    testing_pairs = [p for p in CORUN_PAIRS if p.name in held_out]
+
+    solo = collect_solo_measurements(
+        simulator,
+        suite.all(),
+        gpc_counts=(3, 4),
+        options=(MemoryOption.SHARED, MemoryOption.PRIVATE),
+        power_caps=power_caps,
+    )
+    corun = collect_corun_measurements(
+        simulator,
+        [p.kernels(suite) for p in training_pairs],
+        states=CORUN_STATES,
+        power_caps=power_caps,
+    )
+    model = ModelTrainer().train(solo, corun)
+
+    errors: dict[str, float] = {}
+    for pair in testing_pairs:
+        counters = list(context.pair_profiles(pair))
+        per_point = []
+        for state in CORUN_STATES:
+            for cap in power_caps:
+                measured = context.measured(pair, state, cap)
+                predicted = model.predict_corun(counters, state, cap)
+                per_point.append(
+                    abs(sum(predicted) - measured.weighted_speedup)
+                    / measured.weighted_speedup
+                )
+        errors[pair.name] = 100.0 * float(np.mean(per_point))
+    return HeldOutPairResult(
+        per_pair_error_pct=errors,
+        mean_error_pct=float(np.mean(list(errors.values()))),
+    )

@@ -1,0 +1,181 @@
+"""Plain-text rendering of tables and figure data.
+
+The benchmark harnesses print the regenerated tables/series so that a reader
+can compare them side by side with the paper.  Everything here is purely
+cosmetic; no analysis happens in this module.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.figures import (
+    ComparisonSummary,
+    Figure4Data,
+    Figure5Data,
+    Figure6Data,
+    Figure8Data,
+    Figure10Data,
+    Figure13Data,
+)
+from repro.analysis.tables import Table6Row, Table7Data, Table8Data
+
+
+def ascii_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [format_row(list(headers)), format_row(["-" * w for w in widths])]
+    lines.extend(format_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_table6(rows: Sequence[Table6Row]) -> str:
+    """Render Table 6 (GEMM variants)."""
+    return ascii_table(
+        ["name", "pipe", "iterations", "compute[s]", "memory[s]", "specification"],
+        [
+            (
+                r.name,
+                r.pipe,
+                r.iterations,
+                f"{r.compute_time_full_s:.3f}",
+                f"{r.memory_time_full_s:.3f}",
+                r.specification,
+            )
+            for r in rows
+        ],
+    )
+
+
+def render_table7(data: Table7Data) -> str:
+    """Render Table 7 (benchmark classification) with the paper comparison."""
+    rows = []
+    for name in sorted(data.reports):
+        report = data.reports[name]
+        rows.append(
+            (
+                name,
+                report.workload_class.value,
+                f"{report.relative_perf_us_test:.3f}",
+                f"{report.compute_memory_ratio:.2f}",
+                f"{report.tensor_utilization_pct:.1f}",
+                "ok" if report.matches_paper else "MISMATCH",
+            )
+        )
+    return ascii_table(
+        ["benchmark", "class", "RPerf@1GPC/150W", "F1/F2", "tensor[%]", "vs paper"],
+        rows,
+    )
+
+
+def render_table8(data: Table8Data) -> str:
+    """Render Table 8 (co-run pairs)."""
+    return ascii_table(
+        ["workload", "App1", "App2", "classes"],
+        [
+            (p.name, p.app1, p.app2, f"{p.class1.value}-{p.class2.value}")
+            for p in data.pairs
+        ],
+    )
+
+
+def render_scalability(data: Figure4Data | Figure5Data, title: str) -> str:
+    """Render Figure 4/5-style scalability curves."""
+    gpc_counts = sorted({g for curve in data.curves for g, _ in curve.points})
+    rows = []
+    for curve in data.curves:
+        values = {g: v for g, v in curve.points}
+        rows.append(
+            (curve.kernel, curve.label)
+            + tuple(f"{values[g]:.3f}" if g in values else "-" for g in gpc_counts)
+        )
+    headers = ["kernel", "series"] + [f"{g}GPC" for g in gpc_counts]
+    return f"{title}\n" + ascii_table(headers, rows)
+
+
+def render_figure6(data: Figure6Data) -> str:
+    """Render Figure 6 (co-run throughput per state)."""
+    state_labels = sorted({label for row in data.throughput.values() for label in row})
+    rows = []
+    for pair, row in data.throughput.items():
+        rows.append(
+            (pair,)
+            + tuple(f"{row[label]:.3f}" for label in state_labels)
+            + (data.best_state(pair), f"{data.spread(pair):.2f}x")
+        )
+    headers = ["workload"] + state_labels + ["best", "spread"]
+    return ascii_table(headers, rows)
+
+
+def render_figure8(data: Figure8Data) -> str:
+    """Render Figure 8 (estimated vs measured throughput/fairness)."""
+    rows = [
+        (
+            r.pair,
+            r.state_label,
+            f"{r.measured_throughput:.3f}",
+            f"{r.estimated_throughput:.3f}",
+            f"{r.measured_fairness:.3f}",
+            f"{r.estimated_fairness:.3f}",
+        )
+        for r in data.rows
+    ]
+    table = ascii_table(
+        ["workload", "state", "WS meas", "WS est", "fair meas", "fair est"], rows
+    )
+    summary = (
+        f"\naverage error: throughput {data.throughput_mape_pct:.1f}% "
+        f"fairness {data.fairness_mape_pct:.1f}% (P={data.power_cap_w:.0f}W)"
+    )
+    return table + summary
+
+
+def render_comparison(summary: ComparisonSummary, metric_name: str) -> str:
+    """Render a Figure 9/11-style worst/proposal/best comparison."""
+    rows = [
+        (
+            r.pair,
+            f"{r.worst:.4f}",
+            f"{r.proposal:.4f}",
+            f"{r.best:.4f}",
+            r.proposal_state,
+            f"{r.proposal_power_cap_w:.0f}",
+            "yes" if r.fairness_violated else "no",
+        )
+        for r in summary.rows
+    ]
+    table = ascii_table(
+        ["workload", "worst", "proposal", "best", "S*", "P*[W]", "violated"], rows
+    )
+    footer = (
+        f"\ngeomean {metric_name}: worst={summary.geomean_worst:.4f} "
+        f"proposal={summary.geomean_proposal:.4f} best={summary.geomean_best:.4f} "
+        f"(fairness violations: {summary.fairness_violations})"
+    )
+    return table + footer
+
+
+def render_power_sweep(data: Figure10Data) -> str:
+    """Render Figure 10 (geomean throughput vs power cap)."""
+    rows = [
+        (f"{cap:.0f}", f"{worst:.3f}", f"{proposal:.3f}", f"{best:.3f}")
+        for cap, worst, proposal, best in data.geomeans()
+    ]
+    return ascii_table(["P[W]", "worst", "proposal", "best"], rows)
+
+
+def render_alpha_sweep(data: Figure13Data) -> str:
+    """Render Figure 13 (geomean energy efficiency vs alpha)."""
+    rows = [
+        (f"{alpha:.2f}", f"{worst:.5f}", f"{proposal:.5f}", f"{best:.5f}")
+        for alpha, worst, proposal, best in data.geomeans()
+    ]
+    return ascii_table(["alpha", "worst", "proposal", "best"], rows)

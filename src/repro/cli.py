@@ -1,0 +1,231 @@
+"""Command-line interface.
+
+A small operator-facing CLI over the library, mirroring how the paper's
+workflow would be driven in a deployment:
+
+* ``repro-cli list-benchmarks`` — show the benchmark suite and its classes;
+* ``repro-cli classify`` — run the Table 7 classification rule;
+* ``repro-cli scalability KERNEL`` — the Figure 4/5 scalability curves for
+  one benchmark;
+* ``repro-cli decide APP1 APP2`` — train the model and print the best
+  partition state / power cap for a pair (Problem 1 or Problem 2);
+* ``repro-cli accuracy`` — the Section 5.2.1 model-error statistic;
+* ``repro-cli figure N`` — regenerate the data behind one of the paper's
+  figures (4, 5, 6, 8, 9, 10, 11, 12 or 13).
+
+Every command works offline on the simulated substrate and prints plain
+text; exit status is non-zero on invalid arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.analysis.context import EvaluationContext
+from repro.analysis.errors import model_error_summary
+from repro.analysis import figures as figure_module
+from repro.analysis.report import (
+    ascii_table,
+    render_alpha_sweep,
+    render_comparison,
+    render_figure6,
+    render_figure8,
+    render_power_sweep,
+    render_scalability,
+    render_table7,
+)
+from repro.analysis.tables import table7_classification
+from repro.config import DEFAULT_POWER_CAPS
+from repro.errors import ReproError
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.sweep import scalability_power_sweep, scalability_sweep
+from repro.workloads.classification import EXPECTED_CLASSIFICATION
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="MIG partitioning + power capping co-optimization (ICPP Workshops 2022 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-benchmarks", help="list the benchmark suite")
+
+    subparsers.add_parser("classify", help="run the Table 7 classification")
+
+    scalability = subparsers.add_parser("scalability", help="scalability curves of one benchmark")
+    scalability.add_argument("kernel", help="benchmark name (e.g. stream, hgemm)")
+    scalability.add_argument("--power-cap", type=float, default=250.0, help="chip power cap in watts")
+    scalability.add_argument(
+        "--sweep-power",
+        action="store_true",
+        help="sweep the power cap (Figure 5 style) instead of the memory option",
+    )
+
+    decide = subparsers.add_parser("decide", help="best partition/power for an application pair")
+    decide.add_argument("app1", help="first application (gets the larger partition under S1/S3)")
+    decide.add_argument("app2", help="second application")
+    decide.add_argument("--policy", choices=("problem1", "problem2"), default="problem1")
+    decide.add_argument("--power-cap", type=float, default=230.0, help="power cap for Problem 1")
+    decide.add_argument("--alpha", type=float, default=0.2, help="fairness threshold")
+
+    subparsers.add_parser("accuracy", help="average model error across the evaluation grid")
+
+    figure = subparsers.add_parser("figure", help="regenerate the data behind one paper figure")
+    figure.add_argument("number", type=int, choices=(4, 5, 6, 8, 9, 10, 11, 12, 13))
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_list_benchmarks(_: argparse.Namespace, out: Callable[[str], None]) -> int:
+    rows = []
+    for name in DEFAULT_SUITE.names():
+        kernel = DEFAULT_SUITE.get(name)
+        expected = EXPECTED_CLASSIFICATION.get(name)
+        rows.append(
+            (
+                name,
+                expected.value if expected else "-",
+                f"{kernel.compute_time_full_s:.3f}",
+                f"{kernel.memory_time_full_s:.3f}",
+                f"{kernel.serial_time_s:.3f}",
+                "yes" if kernel.uses_tensor_cores else "no",
+            )
+        )
+    out(ascii_table(["benchmark", "class", "compute[s]", "memory[s]", "serial[s]", "tensor"], rows))
+    return 0
+
+
+def _cmd_classify(_: argparse.Namespace, out: Callable[[str], None]) -> int:
+    context = EvaluationContext.create()
+    data = table7_classification(context)
+    out(render_table7(data))
+    out(f"\nagreement with the paper's Table 7: {data.accuracy:.0%}")
+    return 0
+
+
+def _cmd_scalability(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    kernel = DEFAULT_SUITE.get(args.kernel)
+    simulator = PerformanceSimulator()
+    if args.sweep_power:
+        points = scalability_power_sweep(simulator, kernel)
+        rows = [
+            (f"{p.power_cap_w:.0f}W", p.gpcs, f"{p.relative_performance:.3f}", p.bound)
+            for p in points
+        ]
+        out(ascii_table(["power cap", "GPCs", "RPerf", "bound"], rows))
+    else:
+        points = scalability_sweep(simulator, kernel, power_cap_w=args.power_cap)
+        rows = [
+            (p.option.value, p.gpcs, f"{p.relative_performance:.3f}", p.bound) for p in points
+        ]
+        out(ascii_table(["option", "GPCs", "RPerf", "bound"], rows))
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    from repro.core.workflow import PaperWorkflow
+
+    workflow = PaperWorkflow()
+    workflow.train()
+    if args.policy == "problem1":
+        decision = workflow.decide_problem1([args.app1, args.app2], args.power_cap, args.alpha)
+    else:
+        decision = workflow.decide_problem2([args.app1, args.app2], args.alpha)
+    out(decision.describe())
+    out("")
+    rows = [
+        (
+            e.state.label or e.state.describe(),
+            f"{e.power_cap_w:.0f}",
+            f"{e.predicted_throughput:.3f}",
+            f"{e.predicted_fairness:.3f}",
+            f"{e.objective:.5f}",
+            "yes" if e.feasible else "no",
+        )
+        for e in decision.evaluations
+    ]
+    out(ascii_table(["state", "P[W]", "throughput", "fairness", "objective", "feasible"], rows))
+    return 0
+
+
+def _cmd_accuracy(_: argparse.Namespace, out: Callable[[str], None]) -> int:
+    context = EvaluationContext.create()
+    summary = model_error_summary(context)
+    out(
+        f"average model error over {summary.n_samples} samples: "
+        f"throughput {summary.throughput_mape_pct:.1f}% (paper ~9.7%), "
+        f"fairness {summary.fairness_mape_pct:.1f}% (paper ~14.5%)"
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    context = EvaluationContext.create()
+    number = args.number
+    if number == 4:
+        out(render_scalability(figure_module.figure4_scalability_partitioning(context), "Figure 4"))
+    elif number == 5:
+        out(render_scalability(figure_module.figure5_scalability_power(context), "Figure 5"))
+    elif number == 6:
+        out(render_figure6(figure_module.figure6_corun_throughput(context)))
+    elif number == 8:
+        out(render_figure8(figure_module.figure8_model_accuracy(context)))
+    elif number == 9:
+        data = figure_module.figure9_problem1(context)
+        out(render_comparison(data.comparison, "throughput"))
+    elif number == 10:
+        out(render_power_sweep(figure_module.figure10_problem1_power_sweep(context)))
+    elif number == 11:
+        data = figure_module.figure11_problem2_efficiency(context)
+        for alpha, summary in sorted(data.per_alpha.items()):
+            out(f"alpha = {alpha}")
+            out(render_comparison(summary, "throughput/W"))
+    elif number == 12:
+        data = figure_module.figure12_problem2_power_selection(context)
+        for alpha, rows in sorted(data.per_alpha.items()):
+            out(f"alpha = {alpha}")
+            out(
+                ascii_table(
+                    ["workload", "worst P[W]", "proposal P[W]", "best P[W]"],
+                    [
+                        (r.pair, f"{r.worst_power_w:.0f}", f"{r.proposal_power_w:.0f}", f"{r.best_power_w:.0f}")
+                        for r in rows
+                    ],
+                )
+            )
+    elif number == 13:
+        out(render_alpha_sweep(figure_module.figure13_efficiency_vs_alpha(context)))
+    return 0
+
+
+_COMMANDS = {
+    "list-benchmarks": _cmd_list_benchmarks,
+    "classify": _cmd_classify,
+    "scalability": _cmd_scalability,
+    "decide": _cmd_decide,
+    "accuracy": _cmd_accuracy,
+    "figure": _cmd_figure,
+}
+
+
+def main(argv: Sequence[str] | None = None, out: Callable[[str], None] = print) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    try:
+        return handler(args, out)
+    except ReproError as exc:
+        out(f"error: {exc}")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

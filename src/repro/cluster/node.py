@@ -1,0 +1,85 @@
+"""Compute nodes: one simulated GPU plus its administration interface."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.gpu.mig import PartitionState
+from repro.gpu.nvml import SimulatedSMI
+from repro.gpu.spec import A100_SPEC, GPUSpec
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.results import CoRunResult
+
+
+@dataclass
+class ComputeNode:
+    """One CPU-GPU compute node of the cluster.
+
+    The node owns a simulated GPU (through its :class:`SimulatedSMI`
+    administration facade) and a :class:`PerformanceSimulator` to "execute"
+    work.  The scheduler drives it exclusively through :meth:`configure` and
+    :meth:`execute_pair` / :meth:`execute_exclusive`, which is how a SLURM
+    prolog + job launch would drive a real node.
+    """
+
+    node_id: int
+    spec: GPUSpec = field(default_factory=lambda: A100_SPEC)
+    simulator: PerformanceSimulator | None = None
+    busy_until: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.simulator is None:
+            self.simulator = PerformanceSimulator(self.spec)
+        self.smi = SimulatedSMI(self.spec)
+        self._current_state: PartitionState | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def current_partition(self) -> PartitionState | None:
+        """The MIG partition state currently configured on the node."""
+        return self._current_state
+
+    @property
+    def power_limit_w(self) -> float:
+        """The chip power cap currently configured on the node."""
+        return self.smi.power_limit_w
+
+    def is_free(self, time: float) -> bool:
+        """Whether the node is idle at simulated time ``time``."""
+        return time >= self.busy_until
+
+    # ------------------------------------------------------------------
+    def configure(self, state: PartitionState, power_cap_w: float) -> tuple[str, ...]:
+        """Apply a partition state and power cap; returns the CI UUIDs."""
+        self.smi.set_power_limit(power_cap_w)
+        uuids = self.smi.apply_partition_state(state)
+        self._current_state = state
+        return uuids
+
+    def release(self) -> None:
+        """Tear down the MIG partitions after the running jobs finished."""
+        self.smi.reset_partitions()
+        self._current_state = None
+
+    # ------------------------------------------------------------------
+    def execute_pair(
+        self,
+        kernels,
+        state: PartitionState,
+        power_cap_w: float,
+    ) -> CoRunResult:
+        """Run a co-located pair to completion and return the measured result."""
+        if self.simulator is None:  # pragma: no cover - defensive
+            raise SchedulingError("node has no simulator attached")
+        self.configure(state, power_cap_w)
+        try:
+            return self.simulator.co_run(list(kernels), state, power_cap_w)
+        finally:
+            self.release()
+
+    def execute_exclusive(self, kernel) -> float:
+        """Run one job exclusively (full GPU, default cap); returns its runtime."""
+        if self.simulator is None:  # pragma: no cover - defensive
+            raise SchedulingError("node has no simulator attached")
+        return self.simulator.reference_time(kernel)

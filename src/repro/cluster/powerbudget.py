@@ -1,0 +1,106 @@
+"""Cluster-level GPU power budgeting.
+
+Near-future HPC systems run under a facility-wide power constraint; the job
+manager therefore has to split a total GPU power budget across nodes before
+the per-node allocator can pick its chip-level cap.  The paper motivates
+this (Section 2.1 and the Figure 12 discussion: "shifting the extra power
+budget to where it can be used more efficiently"); this module supplies the
+budget-splitting piece.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError, PowerCapError
+from repro.gpu.spec import A100_SPEC, GPUSpec
+
+
+@dataclass(frozen=True)
+class PowerRequest:
+    """One node's power request.
+
+    Attributes
+    ----------
+    node_id:
+        The requesting node.
+    desired_w:
+        The chip cap the node's allocator would like (e.g. the Problem 2
+        selection for the pair it is about to run).
+    minimum_w:
+        The lowest cap the node can accept (the device's minimum).
+    """
+
+    node_id: int
+    desired_w: float
+    minimum_w: float
+
+    def __post_init__(self) -> None:
+        if self.minimum_w <= 0 or self.desired_w <= 0:
+            raise ConfigurationError("power requests must be positive")
+        if self.desired_w < self.minimum_w:
+            raise ConfigurationError(
+                f"node {self.node_id}: desired cap {self.desired_w} W below minimum {self.minimum_w} W"
+            )
+
+
+class ClusterPowerManager:
+    """Distribute a total GPU power budget across nodes.
+
+    The strategy is deliberately simple and predictable:
+
+    1. every node is guaranteed its minimum cap;
+    2. the remaining budget is handed out in proportion to the amount each
+       node asked for beyond its minimum;
+    3. no node receives more than it asked for — leftover power is reported
+       as head-room instead of being force-fed to nodes that cannot use it
+       (that head-room is exactly what a cluster operator would shift to
+       other racks, as the paper suggests).
+    """
+
+    def __init__(self, spec: GPUSpec = A100_SPEC) -> None:
+        self._spec = spec
+
+    def distribute(
+        self,
+        requests: Sequence[PowerRequest],
+        total_budget_w: float,
+    ) -> Mapping[int, float]:
+        """Split ``total_budget_w`` across the requesting nodes.
+
+        Raises
+        ------
+        repro.errors.PowerCapError
+            If the budget cannot even cover every node's minimum cap.
+        """
+        if not requests:
+            return {}
+        if total_budget_w <= 0:
+            raise ConfigurationError("the total power budget must be positive")
+        minimum_total = sum(r.minimum_w for r in requests)
+        if minimum_total > total_budget_w:
+            raise PowerCapError(
+                f"budget {total_budget_w} W cannot cover the minimum caps "
+                f"({minimum_total} W) of {len(requests)} nodes"
+            )
+        allocation = {r.node_id: r.minimum_w for r in requests}
+        remaining = total_budget_w - minimum_total
+        extra_demand = {r.node_id: r.desired_w - r.minimum_w for r in requests}
+        total_extra = sum(extra_demand.values())
+        if total_extra > 0:
+            scale = min(1.0, remaining / total_extra)
+            for r in requests:
+                allocation[r.node_id] += extra_demand[r.node_id] * scale
+        # Clamp to the device's supported range.
+        for node_id in allocation:
+            allocation[node_id] = min(allocation[node_id], self._spec.max_power_cap_w)
+        return allocation
+
+    def headroom(
+        self,
+        allocation: Mapping[int, float],
+        total_budget_w: float,
+    ) -> float:
+        """Budget left over after an allocation (power available to shift)."""
+        return max(0.0, total_budget_w - sum(allocation.values()))

@@ -1,0 +1,88 @@
+"""FIFO job queue with a co-scheduling look-ahead window."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.cluster.job import Job, JobState
+from repro.errors import SchedulingError
+from repro.workloads.kernel import KernelCharacteristics
+
+
+class JobQueue:
+    """A FIFO queue of pending jobs.
+
+    The co-scheduler pops the head job and may look ahead a bounded number
+    of positions to find a good co-location partner — a common compromise
+    between strict FIFO fairness and pairing quality.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: list[Job] = []
+        self._next_id = 0
+        self._clock = 0.0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(list(self._jobs))
+
+    @property
+    def empty(self) -> bool:
+        """Whether no pending jobs remain."""
+        return not self._jobs
+
+    # ------------------------------------------------------------------
+    def submit(self, kernel: KernelCharacteristics, submit_time: float | None = None) -> Job:
+        """Submit one job for ``kernel`` and return it."""
+        job = Job(
+            job_id=self._next_id,
+            kernel=kernel,
+            submit_time=self._clock if submit_time is None else submit_time,
+        )
+        job.mark(f"submitted at t={job.submit_time:.2f}")
+        self._jobs.append(job)
+        self._next_id += 1
+        return job
+
+    def submit_all(self, kernels: Iterable[KernelCharacteristics]) -> list[Job]:
+        """Submit one job per kernel, in order."""
+        return [self.submit(kernel) for kernel in kernels]
+
+    def advance_clock(self, time: float) -> None:
+        """Advance the queue's notion of time (used for submit timestamps)."""
+        if time < self._clock:
+            raise SchedulingError("the queue clock cannot move backwards")
+        self._clock = time
+
+    # ------------------------------------------------------------------
+    def peek(self) -> Job:
+        """The job at the head of the queue (must be non-empty)."""
+        if not self._jobs:
+            raise SchedulingError("the job queue is empty")
+        return self._jobs[0]
+
+    def window(self, size: int) -> tuple[Job, ...]:
+        """Up to ``size`` jobs from the head of the queue (for pair selection)."""
+        if size < 1:
+            raise SchedulingError(f"window size must be >= 1, got {size}")
+        return tuple(self._jobs[:size])
+
+    def remove(self, job: Job) -> None:
+        """Remove a specific job from the queue (it is being dispatched)."""
+        try:
+            self._jobs.remove(job)
+        except ValueError:
+            raise SchedulingError(f"job {job.job_id} is not in the queue") from None
+
+    def pop(self) -> Job:
+        """Remove and return the head job."""
+        job = self.peek()
+        self.remove(job)
+        return job
+
+    def pending(self) -> tuple[Job, ...]:
+        """All jobs still in the queue (in FIFO order)."""
+        return tuple(job for job in self._jobs if job.state is JobState.PENDING)

@@ -1,0 +1,182 @@
+"""The co-scheduler: pair selection, profile runs, and dispatch.
+
+The scheduler pulls the head job from the queue, searches a bounded
+look-ahead window for the co-location partner that maximizes the predicted
+objective, asks the Resource & Power Allocator for the partition state and
+power cap, and dispatches the pair to a free node.  Jobs whose application
+has never been profiled run exclusively first (the paper's profile-run
+rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.job import Job, JobState
+from repro.cluster.node import ComputeNode
+from repro.cluster.queue import JobQueue
+from repro.core.decision import AllocationDecision
+from repro.core.policies import Policy, Problem1Policy, Problem2Policy
+from repro.core.workflow import OnlineAllocator
+from repro.errors import InfeasibleProblemError, SchedulingError
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the co-scheduler.
+
+    Attributes
+    ----------
+    window_size:
+        How many queued jobs may be inspected when looking for a partner.
+    policy_name:
+        ``"problem1"`` (throughput at a fixed cap) or ``"problem2"``
+        (energy efficiency, cap chosen per pair).
+    power_cap_w:
+        The fixed cap used by Problem 1.
+    alpha:
+        Fairness threshold for either policy.
+    allow_solo:
+        Whether a job may run alone (full MIG partition) when no feasible
+        partner is found.
+    """
+
+    window_size: int = 4
+    policy_name: str = "problem2"
+    power_cap_w: float = 230.0
+    alpha: float = 0.2
+    allow_solo: bool = True
+
+
+@dataclass(frozen=True)
+class DispatchPlan:
+    """What the scheduler decided to run next."""
+
+    jobs: tuple[Job, ...]
+    decision: AllocationDecision | None
+    reason: str
+
+
+class CoScheduler:
+    """Pair selection and dispatch driven by the allocator's predictions."""
+
+    def __init__(
+        self,
+        allocator: OnlineAllocator,
+        config: SchedulerConfig | None = None,
+    ) -> None:
+        self._allocator = allocator
+        self._config = config if config is not None else SchedulerConfig()
+
+    @property
+    def config(self) -> SchedulerConfig:
+        """The scheduler configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    def _policy(self) -> Policy:
+        if self._config.policy_name.lower() in ("problem1", "throughput"):
+            return Problem1Policy(
+                power_cap_w=self._config.power_cap_w, alpha=self._config.alpha
+            )
+        return Problem2Policy(alpha=self._config.alpha)
+
+    def _is_profiled(self, job: Job) -> bool:
+        return self._allocator.database.has(job.name)
+
+    # ------------------------------------------------------------------
+    def plan_next(self, queue: JobQueue) -> DispatchPlan:
+        """Decide what to dispatch next from ``queue`` (without removing jobs).
+
+        The returned plan contains either:
+
+        * a single unprofiled job (profile run),
+        * a pair plus the allocator's decision,
+        * or a single job to run alone when pairing is impossible.
+        """
+        if queue.empty:
+            raise SchedulingError("cannot plan: the job queue is empty")
+        head = queue.peek()
+        if not self._is_profiled(head):
+            return DispatchPlan(jobs=(head,), decision=None, reason="profile run")
+
+        policy = self._policy()
+        best_plan: DispatchPlan | None = None
+        best_objective = float("-inf")
+        for candidate in queue.window(self._config.window_size):
+            if candidate.job_id == head.job_id:
+                continue
+            if not self._is_profiled(candidate):
+                continue
+            try:
+                decision = self._allocator.decide([head.name, candidate.name], policy)
+            except InfeasibleProblemError:
+                continue
+            if decision.predicted_objective > best_objective:
+                best_objective = decision.predicted_objective
+                best_plan = DispatchPlan(
+                    jobs=(head, candidate),
+                    decision=decision,
+                    reason=f"co-schedule via {policy.name}",
+                )
+        if best_plan is not None:
+            return best_plan
+        if not self._config.allow_solo:
+            raise SchedulingError(
+                f"no feasible co-location partner found for job {head.job_id} "
+                "and solo execution is disabled"
+            )
+        return DispatchPlan(jobs=(head,), decision=None, reason="no feasible partner")
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        plan: DispatchPlan,
+        queue: JobQueue,
+        node: ComputeNode,
+        time: float,
+    ) -> float:
+        """Execute a plan on ``node`` starting at ``time``; returns the finish time.
+
+        The jobs are removed from the queue, their lifecycle updated, and the
+        node's busy window extended.
+        """
+        if not node.is_free(time):
+            raise SchedulingError(
+                f"node {node.node_id} is busy until t={node.busy_until:.2f}"
+            )
+        for job in plan.jobs:
+            queue.remove(job)
+            job.start_time = time
+
+        if plan.decision is None:
+            job = plan.jobs[0]
+            if not self._is_profiled(job):
+                job.transition(JobState.PROFILING)
+                self._allocator.ensure_profiled(job.kernel)
+                job.mark("profile run (exclusive)")
+            else:
+                job.transition(JobState.RUNNING)
+                job.mark("exclusive run (no partner)")
+            runtime = node.execute_exclusive(job.kernel)
+            finish = time + runtime
+            job.finish_time = finish
+            job.transition(JobState.COMPLETED)
+        else:
+            decision = plan.decision
+            kernels = [job.kernel for job in plan.jobs]
+            result = node.execute_pair(kernels, decision.state, decision.power_cap_w)
+            finish = time
+            for job, run in zip(plan.jobs, result.per_app):
+                job.transition(JobState.RUNNING)
+                job.co_runner = [j.job_id for j in plan.jobs if j is not job][0]
+                job.assigned_device = f"node{node.node_id}-{decision.state.describe()}-app{run.app_index}"
+                job.mark(
+                    f"co-run on {decision.state.describe()} @ {decision.power_cap_w:.0f}W "
+                    f"(RPerf={run.relative_performance:.3f})"
+                )
+                job.finish_time = time + run.elapsed_s
+                job.transition(JobState.COMPLETED)
+                finish = max(finish, job.finish_time)
+        node.busy_until = finish
+        return finish

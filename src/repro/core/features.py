@@ -1,0 +1,145 @@
+"""Basis functions over the profiled counters (Table 4 of the paper).
+
+The linear model does not regress directly on the raw counters ``F1..F8``;
+it first converts them with two hand-designed basis functions:
+
+* ``H(F)`` feeds the *scalability* term and captures how the application
+  itself reacts to fewer GPCs / lower clocks:
+
+  ====  =====================================  ==========================
+  H1    ``F1/100 − H2``                         non-Tensor compute intensity
+  H2    ``(F6 + F7 + F8)/100``                  Tensor compute intensity
+  H3    ``F2/F1``                               memory/compute ratio
+  H4    ``F4/100``                              L2 / DRAM locality
+  H5    ``F5/100``                              resource utilization
+  H6    ``1``                                   constant
+  ====  =====================================  ==========================
+
+* ``J(F)`` feeds the *interference* term and captures how much pressure a
+  co-located application exerts:
+
+  ====  ==============  =======================
+  J1    ``F3/100``      DRAM intensity
+  J2    ``F4/100``      access-pattern related
+  J3    ``1``           constant
+  ====  ==============  =======================
+
+The paper notes that the manual choice of counters and basis functions is a
+limitation; :data:`RAW_COUNTER_BASIS` exists so that the ablation benchmark
+can quantify what the hand-designed basis buys over regressing on raw
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.counters import CounterVector
+
+#: Labels of the H components, for reports.
+H_LABELS: tuple[str, ...] = (
+    "H1 non-tensor compute intensity",
+    "H2 tensor compute intensity",
+    "H3 memory/compute ratio",
+    "H4 locality (L2 hit rate)",
+    "H5 resource utilization",
+    "H6 constant",
+)
+
+#: Labels of the J components, for reports.
+J_LABELS: tuple[str, ...] = (
+    "J1 DRAM intensity",
+    "J2 access pattern (L2 hit rate)",
+    "J3 constant",
+)
+
+
+def basis_h(counters: CounterVector) -> np.ndarray:
+    """The scalability basis ``H(F)`` of Table 4 (length 6)."""
+    tensor_intensity = (
+        counters.tensor_mixed + counters.tensor_double + counters.tensor_int
+    ) / 100.0
+    compute = counters.compute_throughput
+    memory = counters.memory_throughput
+    # Guard the ratio against a (theoretical) zero compute throughput; the
+    # paper's kernels always have F1 > 0.
+    memory_compute_ratio = memory / compute if compute > 1e-9 else 0.0
+    return np.array(
+        [
+            counters.compute_throughput / 100.0 - tensor_intensity,
+            tensor_intensity,
+            memory_compute_ratio,
+            counters.l2_hit_rate / 100.0,
+            counters.occupancy / 100.0,
+            1.0,
+        ],
+        dtype=float,
+    )
+
+
+def basis_j(counters: CounterVector) -> np.ndarray:
+    """The interference basis ``J(F)`` of Table 4 (length 3)."""
+    return np.array(
+        [
+            counters.dram_throughput / 100.0,
+            counters.l2_hit_rate / 100.0,
+            1.0,
+        ],
+        dtype=float,
+    )
+
+
+def raw_counter_basis(counters: CounterVector) -> np.ndarray:
+    """All eight raw counters (scaled to 0..1) plus a constant (length 9)."""
+    return np.concatenate([counters.as_array() / 100.0, [1.0]])
+
+
+@dataclass(frozen=True)
+class BasisFunctions:
+    """A named pair of basis functions for the two model terms.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports and ablations.
+    h:
+        Basis applied to the application's own counters (scalability term).
+    j:
+        Basis applied to each co-runner's counters (interference term).
+    h_dim, j_dim:
+        Output dimensions of ``h`` and ``j``.
+    """
+
+    name: str
+    h: Callable[[CounterVector], np.ndarray]
+    j: Callable[[CounterVector], np.ndarray]
+    h_dim: int
+    j_dim: int
+
+    def h_matrix(self, counters_list: list[CounterVector]) -> np.ndarray:
+        """Stack ``h`` over a list of counter vectors into a design matrix."""
+        if not counters_list:
+            return np.zeros((0, self.h_dim), dtype=float)
+        return np.vstack([self.h(c) for c in counters_list])
+
+    def j_matrix(self, counters_list: list[CounterVector]) -> np.ndarray:
+        """Stack ``j`` over a list of counter vectors into a design matrix."""
+        if not counters_list:
+            return np.zeros((0, self.j_dim), dtype=float)
+        return np.vstack([self.j(c) for c in counters_list])
+
+
+#: The paper's Table 4 basis.
+DEFAULT_BASIS = BasisFunctions(name="table4", h=basis_h, j=basis_j, h_dim=6, j_dim=3)
+
+#: Raw-counter basis used by the basis-function ablation.
+RAW_COUNTER_BASIS = BasisFunctions(
+    name="raw-counters",
+    h=raw_counter_basis,
+    j=raw_counter_basis,
+    h_dim=9,
+    j_dim=9,
+)

@@ -1,0 +1,262 @@
+"""The linear-regression relative-performance model (Section 4.3).
+
+For application ``i`` co-located with applications ``j ≠ i`` under hardware
+state ``(S, P)`` the paper models the relative performance as::
+
+    RPerf_i(S, P) = C(S, P) · H(F_i)  +  Σ_{j≠i} D(S, P) · J(F_j)
+
+where ``F_i`` is the profiled counter vector of application ``i`` and the
+coefficient vectors ``C`` and ``D`` are fitted *per hardware state* with
+least squares.  A hardware state, from the point of view of one application,
+is the triple (number of GPCs it received, memory option, chip power cap) —
+that is exactly what :class:`HardwareStateKey` encodes.
+
+The scalability term alone is used for solo predictions (the paper ignores
+the interference term when only one application runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ModelError, NotFittedError
+from repro.core.features import DEFAULT_BASIS, BasisFunctions
+from repro.gpu.mig import MemoryOption, PartitionState
+from repro.sim.counters import CounterVector
+
+
+@dataclass(frozen=True)
+class HardwareStateKey:
+    """One application's view of the hardware state ``(S, P)``.
+
+    Attributes
+    ----------
+    gpcs:
+        GPCs allocated to the application.
+    option:
+        LLC/HBM sharing option of the partition state.
+    power_cap_w:
+        Chip power cap in watts.
+    """
+
+    gpcs: int
+    option: MemoryOption
+    power_cap_w: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "option", MemoryOption(self.option))
+        object.__setattr__(self, "power_cap_w", float(self.power_cap_w))
+
+    @classmethod
+    def from_state(
+        cls, state: PartitionState, app_index: int, power_cap_w: float
+    ) -> "HardwareStateKey":
+        """The key seen by application ``app_index`` under ``state`` at ``power_cap_w``."""
+        return cls(
+            gpcs=state.gpc_allocations[app_index],
+            option=state.option,
+            power_cap_w=float(power_cap_w),
+        )
+
+    def describe(self) -> str:
+        """Human-readable description."""
+        return f"{self.gpcs}GPCs/{self.option.value}/{self.power_cap_w:.0f}W"
+
+
+class LinearPerfModel:
+    """Per-hardware-state linear regression over profiled features.
+
+    The model stores one scalability coefficient vector ``C`` and one
+    interference coefficient vector ``D`` per :class:`HardwareStateKey`.
+    Training happens in :mod:`repro.core.training`; this class only holds
+    coefficients and evaluates predictions.
+    """
+
+    def __init__(self, basis: BasisFunctions = DEFAULT_BASIS) -> None:
+        self._basis = basis
+        self._scalability: dict[HardwareStateKey, np.ndarray] = {}
+        self._interference: dict[HardwareStateKey, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def basis(self) -> BasisFunctions:
+        """The basis functions the coefficients were fitted against."""
+        return self._basis
+
+    def fitted_scalability_states(self) -> tuple[HardwareStateKey, ...]:
+        """Hardware states with a fitted scalability term."""
+        return tuple(sorted(self._scalability, key=lambda k: (k.option.value, k.gpcs, k.power_cap_w)))
+
+    def fitted_interference_states(self) -> tuple[HardwareStateKey, ...]:
+        """Hardware states with a fitted interference term."""
+        return tuple(sorted(self._interference, key=lambda k: (k.option.value, k.gpcs, k.power_cap_w)))
+
+    def has_scalability(self, key: HardwareStateKey) -> bool:
+        """Whether a scalability coefficient vector exists for ``key``."""
+        return key in self._scalability
+
+    def has_interference(self, key: HardwareStateKey) -> bool:
+        """Whether an interference coefficient vector exists for ``key``."""
+        return key in self._interference
+
+    def scalability_coefficients(self, key: HardwareStateKey) -> np.ndarray:
+        """The fitted ``C`` vector for ``key`` (copy)."""
+        self._require_scalability(key)
+        return self._scalability[key].copy()
+
+    def interference_coefficients(self, key: HardwareStateKey) -> np.ndarray:
+        """The fitted ``D`` vector for ``key`` (copy)."""
+        if key not in self._interference:
+            raise NotFittedError(
+                f"no interference coefficients fitted for state {key.describe()}"
+            )
+        return self._interference[key].copy()
+
+    # ------------------------------------------------------------------
+    # Coefficient installation (used by the trainer and by persistence)
+    # ------------------------------------------------------------------
+    def set_scalability_coefficients(
+        self, key: HardwareStateKey, coefficients: np.ndarray
+    ) -> None:
+        """Install the ``C`` vector for one hardware state."""
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.shape != (self._basis.h_dim,):
+            raise ModelError(
+                f"scalability coefficients for {key.describe()} must have shape "
+                f"({self._basis.h_dim},), got {coefficients.shape}"
+            )
+        self._scalability[key] = coefficients.copy()
+
+    def set_interference_coefficients(
+        self, key: HardwareStateKey, coefficients: np.ndarray
+    ) -> None:
+        """Install the ``D`` vector for one hardware state."""
+        coefficients = np.asarray(coefficients, dtype=float)
+        if coefficients.shape != (self._basis.j_dim,):
+            raise ModelError(
+                f"interference coefficients for {key.describe()} must have shape "
+                f"({self._basis.j_dim},), got {coefficients.shape}"
+            )
+        self._interference[key] = coefficients.copy()
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_solo(self, counters: CounterVector, key: HardwareStateKey) -> float:
+        """Predicted relative performance of a solo run under ``key``."""
+        self._require_scalability(key)
+        value = float(self._scalability[key] @ self._basis.h(counters))
+        return max(0.0, value)
+
+    def predict_rperf(
+        self,
+        counters: CounterVector,
+        key: HardwareStateKey,
+        co_counters: Sequence[CounterVector] = (),
+    ) -> float:
+        """Predicted relative performance of one co-located application.
+
+        ``co_counters`` are the profiled counter vectors of the other
+        applications sharing the GPU; when it is empty the interference term
+        is skipped (solo prediction).
+        """
+        self._require_scalability(key)
+        value = float(self._scalability[key] @ self._basis.h(counters))
+        if co_counters:
+            if key not in self._interference:
+                raise NotFittedError(
+                    f"no interference coefficients fitted for state {key.describe()}"
+                )
+            d = self._interference[key]
+            for other in co_counters:
+                value += float(d @ self._basis.j(other))
+        return max(0.0, value)
+
+    def predict_corun(
+        self,
+        counters_list: Sequence[CounterVector],
+        state: PartitionState,
+        power_cap_w: float,
+    ) -> tuple[float, ...]:
+        """Predicted relative performance of every application under ``state``."""
+        if state.n_apps != len(counters_list):
+            raise ModelError(
+                f"state {state.describe()} has {state.n_apps} applications but "
+                f"{len(counters_list)} profiles were supplied"
+            )
+        predictions = []
+        for index, counters in enumerate(counters_list):
+            key = HardwareStateKey.from_state(state, index, power_cap_w)
+            others = [c for j, c in enumerate(counters_list) if j != index]
+            predictions.append(self.predict_rperf(counters, key, others))
+        return tuple(predictions)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Serialize all coefficients to a JSON-compatible dictionary."""
+
+        def encode(table: Mapping[HardwareStateKey, np.ndarray]) -> list[dict]:
+            return [
+                {
+                    "gpcs": key.gpcs,
+                    "option": key.option.value,
+                    "power_cap_w": key.power_cap_w,
+                    "coefficients": [float(v) for v in coeffs],
+                }
+                for key, coeffs in table.items()
+            ]
+
+        return {
+            "format": "repro-linear-perf-model",
+            "version": 1,
+            "basis": self._basis.name,
+            "scalability": encode(self._scalability),
+            "interference": encode(self._interference),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, basis: BasisFunctions = DEFAULT_BASIS) -> "LinearPerfModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        if data.get("format") != "repro-linear-perf-model":
+            raise ModelError("not a linear-performance-model document")
+        if data.get("basis") != basis.name:
+            raise ModelError(
+                f"model was fitted with basis {data.get('basis')!r} but "
+                f"{basis.name!r} was supplied"
+            )
+        model = cls(basis)
+        for entry in data.get("scalability", []):
+            key = HardwareStateKey(entry["gpcs"], MemoryOption(entry["option"]), entry["power_cap_w"])
+            model.set_scalability_coefficients(key, np.array(entry["coefficients"]))
+        for entry in data.get("interference", []):
+            key = HardwareStateKey(entry["gpcs"], MemoryOption(entry["option"]), entry["power_cap_w"])
+            model.set_interference_coefficients(key, np.array(entry["coefficients"]))
+        return model
+
+    # ------------------------------------------------------------------
+    def _require_scalability(self, key: HardwareStateKey) -> None:
+        if key not in self._scalability:
+            raise NotFittedError(
+                f"no scalability coefficients fitted for state {key.describe()}; "
+                f"fitted states: {[k.describe() for k in self.fitted_scalability_states()]}"
+            )
+
+
+def required_state_keys(
+    states: Iterable[PartitionState],
+    power_caps: Iterable[float],
+) -> tuple[HardwareStateKey, ...]:
+    """Every per-application hardware state implied by states × power caps."""
+    keys: set[HardwareStateKey] = set()
+    for state in states:
+        for power_cap in power_caps:
+            for index in range(state.n_apps):
+                keys.add(HardwareStateKey.from_state(state, index, power_cap))
+    return tuple(sorted(keys, key=lambda k: (k.option.value, k.gpcs, k.power_cap_w)))

@@ -1,0 +1,158 @@
+"""The Resource & Power Allocator (the right-hand half of Figure 1).
+
+Given the profiles of the applications in a co-location candidate, the
+allocator evaluates every candidate combination of partition state and power
+cap with the linear performance model, filters by the fairness constraint,
+and returns the combination that maximizes the policy's objective.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.config import DEFAULT_POWER_CAPS
+from repro.core.decision import AllocationDecision, CandidateEvaluation
+from repro.core.metrics import fairness as fairness_metric
+from repro.core.metrics import weighted_speedup
+from repro.core.model import LinearPerfModel
+from repro.core.policies import Policy, Problem1Policy, Problem2Policy
+from repro.core.search import ExhaustiveSearch, SearchCandidate, SearchStrategy
+from repro.errors import InfeasibleProblemError, OptimizationError
+from repro.gpu.mig import CORUN_STATES, PartitionState
+from repro.sim.counters import CounterVector
+
+
+class ResourcePowerAllocator:
+    """Chooses the partition state, job allocation, and power cap for a pair.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.model.LinearPerfModel`.
+    candidate_states:
+        Partition/allocation states to consider (Table 5's S1–S4 by default).
+        Job allocation is part of the state: S1 vs S2 (and S3 vs S4) differ
+        only in which application receives the larger partition.
+    power_caps:
+        Power caps Problem 2 may choose from.
+    search:
+        Search strategy over the candidate space (exhaustive by default, as
+        in the paper).
+    """
+
+    def __init__(
+        self,
+        model: LinearPerfModel,
+        candidate_states: Sequence[PartitionState] = CORUN_STATES,
+        power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
+        search: SearchStrategy | None = None,
+    ) -> None:
+        if not candidate_states:
+            raise OptimizationError("at least one candidate partition state is required")
+        if not power_caps:
+            raise OptimizationError("at least one candidate power cap is required")
+        self._model = model
+        self._states = tuple(candidate_states)
+        self._power_caps = tuple(float(p) for p in power_caps)
+        self._search: SearchStrategy = search if search is not None else ExhaustiveSearch()
+
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> LinearPerfModel:
+        """The performance model used for predictions."""
+        return self._model
+
+    @property
+    def candidate_states(self) -> tuple[PartitionState, ...]:
+        """The candidate partition states."""
+        return self._states
+
+    @property
+    def power_caps(self) -> tuple[float, ...]:
+        """The candidate power caps for Problem 2."""
+        return self._power_caps
+
+    # ------------------------------------------------------------------
+    # Candidate evaluation
+    # ------------------------------------------------------------------
+    def evaluate_candidate(
+        self,
+        counters_list: Sequence[CounterVector],
+        state: PartitionState,
+        power_cap_w: float,
+        policy: Policy,
+    ) -> CandidateEvaluation:
+        """Model-predicted metrics of one ``(S, P)`` combination."""
+        predictions = self._model.predict_corun(counters_list, state, power_cap_w)
+        throughput = weighted_speedup(predictions)
+        fairness = fairness_metric(predictions)
+        return CandidateEvaluation(
+            state=state,
+            power_cap_w=float(power_cap_w),
+            predicted_rperfs=predictions,
+            predicted_throughput=throughput,
+            predicted_fairness=fairness,
+            objective=policy.objective(throughput, power_cap_w),
+            feasible=policy.is_feasible(fairness),
+        )
+
+    def _candidates(self, policy: Policy) -> list[SearchCandidate]:
+        return [
+            SearchCandidate(state=state, power_cap_w=float(power_cap))
+            for state in self._states
+            for power_cap in policy.candidate_power_caps()
+        ]
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        counters_list: Sequence[CounterVector],
+        policy: Policy,
+    ) -> AllocationDecision:
+        """Pick the best feasible ``(S, P)`` combination for ``policy``."""
+        candidates = self._candidates(policy)
+
+        def evaluate(candidate: SearchCandidate) -> CandidateEvaluation:
+            return self.evaluate_candidate(
+                counters_list, candidate.state, candidate.power_cap_w, policy
+            )
+
+        try:
+            best, evaluations = self._search.search(candidates, evaluate)
+        except OptimizationError as exc:
+            raise InfeasibleProblemError(
+                f"policy {policy.name}: {exc} "
+                f"(alpha={policy.alpha}, {len(candidates)} candidates)"
+            ) from exc
+        return AllocationDecision(
+            state=best.state,
+            power_cap_w=best.power_cap_w,
+            predicted_rperfs=best.predicted_rperfs,
+            predicted_throughput=best.predicted_throughput,
+            predicted_fairness=best.predicted_fairness,
+            predicted_objective=best.objective,
+            policy_name=policy.name,
+            candidates_evaluated=len(evaluations),
+            evaluations=evaluations,
+        )
+
+    def solve_problem1(
+        self,
+        counters_list: Sequence[CounterVector],
+        power_cap_w: float,
+        alpha: float = 0.2,
+    ) -> AllocationDecision:
+        """Problem 1: maximize throughput at a fixed cap under the fairness constraint."""
+        return self.solve(counters_list, Problem1Policy(power_cap_w=power_cap_w, alpha=alpha))
+
+    def solve_problem2(
+        self,
+        counters_list: Sequence[CounterVector],
+        alpha: float = 0.2,
+    ) -> AllocationDecision:
+        """Problem 2: maximize energy efficiency over both the state and the cap."""
+        return self.solve(
+            counters_list, Problem2Policy(alpha=alpha, power_caps=self._power_caps)
+        )

@@ -1,0 +1,121 @@
+"""Optimization problems (policies) solved by the allocator (Section 4.2).
+
+* **Problem 1** — the chip power cap ``P`` is given (e.g. dictated by the
+  cluster-level power budget); choose the partition state ``S`` that
+  maximizes throughput subject to the fairness constraint
+  ``Fairness(S, P) > α``.
+* **Problem 2** — both ``S`` and ``P`` are free; maximize energy efficiency
+  ``Throughput / P`` subject to the same fairness constraint.
+
+Both are expressed through a tiny common interface so the allocator and the
+search strategies don't need to know which problem they are solving:
+``candidate_power_caps()`` enumerates the allowed caps, ``objective()`` maps
+predicted metrics to the quantity being maximized, and ``is_feasible()``
+encodes the constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.config import DEFAULT_POWER_CAPS
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class Policy(Protocol):
+    """Interface every optimization policy exposes to the allocator."""
+
+    name: str
+    alpha: float
+
+    def candidate_power_caps(self) -> tuple[float, ...]:
+        """Power caps the search may choose from."""
+        ...
+
+    def objective(self, throughput: float, power_cap_w: float) -> float:
+        """The quantity to maximize, from predicted throughput and the cap."""
+        ...
+
+    def is_feasible(self, fairness: float) -> bool:
+        """Whether the fairness constraint is satisfied."""
+        ...
+
+
+@dataclass(frozen=True)
+class Problem1Policy:
+    """Maximize throughput at a fixed power cap, subject to fairness > α."""
+
+    power_cap_w: float
+    alpha: float = 0.2
+    name: str = "problem1-throughput"
+
+    def __post_init__(self) -> None:
+        if self.power_cap_w <= 0:
+            raise ConfigurationError(f"power cap must be positive, got {self.power_cap_w}")
+        if not (0.0 <= self.alpha < 1.0):
+            raise ConfigurationError(f"alpha must be in [0, 1), got {self.alpha}")
+
+    def candidate_power_caps(self) -> tuple[float, ...]:
+        """Problem 1 has no freedom in the cap: only the given value."""
+        return (float(self.power_cap_w),)
+
+    def objective(self, throughput: float, power_cap_w: float) -> float:
+        """Throughput (weighted speedup) is maximized directly."""
+        return throughput
+
+    def is_feasible(self, fairness: float) -> bool:
+        """The paper's constraint ``Fairness > α``."""
+        return fairness > self.alpha
+
+
+@dataclass(frozen=True)
+class Problem2Policy:
+    """Maximize energy efficiency over both the state and the power cap."""
+
+    alpha: float = 0.2
+    power_caps: tuple[float, ...] = DEFAULT_POWER_CAPS
+    name: str = "problem2-energy-efficiency"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.alpha < 1.0):
+            raise ConfigurationError(f"alpha must be in [0, 1), got {self.alpha}")
+        if not self.power_caps:
+            raise ConfigurationError("Problem 2 needs at least one candidate power cap")
+        if any(p <= 0 for p in self.power_caps):
+            raise ConfigurationError("power caps must be positive")
+        object.__setattr__(self, "power_caps", tuple(float(p) for p in self.power_caps))
+
+    def candidate_power_caps(self) -> tuple[float, ...]:
+        """All caps of the evaluation grid (Table 5 by default)."""
+        return self.power_caps
+
+    def objective(self, throughput: float, power_cap_w: float) -> float:
+        """Energy efficiency: throughput divided by the chosen cap."""
+        return throughput / power_cap_w
+
+    def is_feasible(self, fairness: float) -> bool:
+        """The paper's constraint ``Fairness > α``."""
+        return fairness > self.alpha
+
+
+def make_policy(
+    name: str,
+    alpha: float,
+    power_cap_w: float | None = None,
+    power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
+) -> Policy:
+    """Convenience factory used by examples and the cluster scheduler.
+
+    ``name`` may be ``"problem1"``/``"throughput"`` or
+    ``"problem2"``/``"energy-efficiency"``.
+    """
+    normalized = name.lower()
+    if normalized in ("problem1", "throughput"):
+        if power_cap_w is None:
+            raise ConfigurationError("Problem 1 requires a given power cap")
+        return Problem1Policy(power_cap_w=power_cap_w, alpha=alpha)
+    if normalized in ("problem2", "energy-efficiency", "efficiency"):
+        return Problem2Policy(alpha=alpha, power_caps=tuple(power_caps))
+    raise ConfigurationError(f"unknown policy {name!r}")

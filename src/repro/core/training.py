@@ -1,0 +1,263 @@
+"""Offline calibration of the model coefficients (Section 5.1.3).
+
+The paper's calibration procedure has two stages:
+
+1. **Scalability term** — every benchmark of the training set is executed
+   *solo* while sweeping the hardware state (GPC count × memory option ×
+   power cap).  For each hardware state the measured relative performances
+   are regressed (least squares) on the ``H(F)`` features, giving ``C(S,P)``.
+2. **Interference term** — the co-run training workloads are executed for
+   every co-run hardware state.  For each application the residual between
+   its measured relative performance and the already-fitted scalability
+   prediction is regressed on the co-runner's ``J(F)`` features, giving
+   ``D(S,P)``.
+
+Both stages work purely on measurement records, so they can equally be fed
+from the simulator (this reproduction) or from real hardware runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.config import DEFAULT_POWER_CAPS, SCALABILITY_GPC_COUNTS
+from repro.core.features import DEFAULT_BASIS, BasisFunctions
+from repro.core.model import HardwareStateKey, LinearPerfModel
+from repro.errors import ModelError
+from repro.gpu.mig import CORUN_STATES, MemoryOption, PartitionState, solo_state
+from repro.sim.counters import CounterVector
+from repro.sim.engine import PerformanceSimulator
+from repro.workloads.kernel import KernelCharacteristics
+
+
+@dataclass(frozen=True)
+class SoloMeasurement:
+    """One solo training measurement: an application on one hardware state."""
+
+    kernel_name: str
+    counters: CounterVector
+    gpcs: int
+    option: MemoryOption
+    power_cap_w: float
+    relative_performance: float
+
+    @property
+    def key(self) -> HardwareStateKey:
+        """The hardware-state key this measurement calibrates."""
+        return HardwareStateKey(self.gpcs, self.option, self.power_cap_w)
+
+
+@dataclass(frozen=True)
+class CoRunMeasurement:
+    """One co-run training measurement: a pair (or more) on one state."""
+
+    kernel_names: tuple[str, ...]
+    counters: tuple[CounterVector, ...]
+    state: PartitionState
+    power_cap_w: float
+    relative_performances: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.kernel_names)
+            == len(self.counters)
+            == len(self.relative_performances)
+            == self.state.n_apps
+        ):
+            raise ModelError(
+                "co-run measurement is inconsistent: "
+                f"{len(self.kernel_names)} names, {len(self.counters)} profiles, "
+                f"{len(self.relative_performances)} performances, "
+                f"state with {self.state.n_apps} applications"
+            )
+
+
+@dataclass
+class TrainingReport:
+    """Summary of one calibration run (sizes and per-state residuals)."""
+
+    n_solo_measurements: int = 0
+    n_corun_measurements: int = 0
+    scalability_residuals: dict[HardwareStateKey, float] = field(default_factory=dict)
+    interference_residuals: dict[HardwareStateKey, float] = field(default_factory=dict)
+
+    @property
+    def worst_scalability_residual(self) -> float:
+        """Largest per-state RMS residual of the scalability fit."""
+        return max(self.scalability_residuals.values(), default=0.0)
+
+    @property
+    def worst_interference_residual(self) -> float:
+        """Largest per-state RMS residual of the interference fit."""
+        return max(self.interference_residuals.values(), default=0.0)
+
+
+class ModelTrainer:
+    """Least-squares calibration of :class:`~repro.core.model.LinearPerfModel`."""
+
+    def __init__(
+        self,
+        basis: BasisFunctions = DEFAULT_BASIS,
+        ridge: float = 1e-6,
+    ) -> None:
+        if ridge < 0:
+            raise ModelError(f"ridge parameter must be >= 0, got {ridge}")
+        self._basis = basis
+        self._ridge = ridge
+        self.last_report: TrainingReport | None = None
+
+    @property
+    def basis(self) -> BasisFunctions:
+        """The basis functions used for fitting."""
+        return self._basis
+
+    # ------------------------------------------------------------------
+    # Low-level regression helper
+    # ------------------------------------------------------------------
+    def _least_squares(self, design: np.ndarray, target: np.ndarray) -> np.ndarray:
+        """Ridge-stabilised least squares (the well-known normal equations)."""
+        if design.shape[0] == 0:
+            raise ModelError("cannot fit coefficients from zero measurements")
+        gram = design.T @ design + self._ridge * np.eye(design.shape[1])
+        return np.linalg.solve(gram, design.T @ target)
+
+    # ------------------------------------------------------------------
+    # Stage 1: scalability term
+    # ------------------------------------------------------------------
+    def fit_scalability(
+        self,
+        measurements: Sequence[SoloMeasurement],
+        model: LinearPerfModel | None = None,
+    ) -> LinearPerfModel:
+        """Fit ``C(S, P)`` for every hardware state present in ``measurements``."""
+        model = model if model is not None else LinearPerfModel(self._basis)
+        report = self.last_report or TrainingReport()
+        report.n_solo_measurements += len(measurements)
+        grouped: dict[HardwareStateKey, list[SoloMeasurement]] = {}
+        for measurement in measurements:
+            grouped.setdefault(measurement.key, []).append(measurement)
+        for key, group in grouped.items():
+            design = self._basis.h_matrix([m.counters for m in group])
+            target = np.array([m.relative_performance for m in group], dtype=float)
+            coefficients = self._least_squares(design, target)
+            model.set_scalability_coefficients(key, coefficients)
+            residual = design @ coefficients - target
+            report.scalability_residuals[key] = float(
+                np.sqrt(np.mean(residual**2))
+            )
+        self.last_report = report
+        return model
+
+    # ------------------------------------------------------------------
+    # Stage 2: interference term
+    # ------------------------------------------------------------------
+    def fit_interference(
+        self,
+        measurements: Sequence[CoRunMeasurement],
+        model: LinearPerfModel,
+    ) -> LinearPerfModel:
+        """Fit ``D(S, P)`` from co-run measurements, with ``C`` already fitted."""
+        report = self.last_report or TrainingReport()
+        report.n_corun_measurements += len(measurements)
+        design_rows: dict[HardwareStateKey, list[np.ndarray]] = {}
+        targets: dict[HardwareStateKey, list[float]] = {}
+        for measurement in measurements:
+            for index in range(measurement.state.n_apps):
+                key = HardwareStateKey.from_state(
+                    measurement.state, index, measurement.power_cap_w
+                )
+                own_counters = measurement.counters[index]
+                others = [
+                    c for j, c in enumerate(measurement.counters) if j != index
+                ]
+                if not others:
+                    continue
+                scalability = model.predict_solo(own_counters, key)
+                residual = measurement.relative_performances[index] - scalability
+                # The interference contribution of several co-runners is the
+                # sum of their J features — stack them into one row.
+                row = np.sum(self._basis.j_matrix(others), axis=0)
+                design_rows.setdefault(key, []).append(row)
+                targets.setdefault(key, []).append(residual)
+        for key, rows in design_rows.items():
+            design = np.vstack(rows)
+            target = np.array(targets[key], dtype=float)
+            coefficients = self._least_squares(design, target)
+            model.set_interference_coefficients(key, coefficients)
+            residual = design @ coefficients - target
+            report.interference_residuals[key] = float(np.sqrt(np.mean(residual**2)))
+        self.last_report = report
+        return model
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        solo_measurements: Sequence[SoloMeasurement],
+        corun_measurements: Sequence[CoRunMeasurement] = (),
+    ) -> LinearPerfModel:
+        """Run both calibration stages and return the fitted model."""
+        self.last_report = TrainingReport()
+        model = self.fit_scalability(solo_measurements)
+        if corun_measurements:
+            model = self.fit_interference(corun_measurements, model)
+        return model
+
+
+# ----------------------------------------------------------------------
+# Measurement collection (driving the simulator, as the paper drives the GPU)
+# ----------------------------------------------------------------------
+def collect_solo_measurements(
+    simulator: PerformanceSimulator,
+    kernels: Iterable[KernelCharacteristics],
+    gpc_counts: Sequence[int] = SCALABILITY_GPC_COUNTS,
+    options: Sequence[MemoryOption] = (MemoryOption.PRIVATE, MemoryOption.SHARED),
+    power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
+) -> list[SoloMeasurement]:
+    """Execute the solo training sweep and return its measurements."""
+    measurements: list[SoloMeasurement] = []
+    for kernel in kernels:
+        counters = simulator.profile(kernel)
+        for option in options:
+            for gpcs in gpc_counts:
+                for power_cap in power_caps:
+                    run = simulator.solo_run(kernel, solo_state(gpcs, option), power_cap)
+                    measurements.append(
+                        SoloMeasurement(
+                            kernel_name=kernel.name,
+                            counters=counters,
+                            gpcs=gpcs,
+                            option=MemoryOption(option),
+                            power_cap_w=float(power_cap),
+                            relative_performance=run.relative_performance,
+                        )
+                    )
+    return measurements
+
+
+def collect_corun_measurements(
+    simulator: PerformanceSimulator,
+    kernel_pairs: Iterable[tuple[KernelCharacteristics, ...]],
+    states: Sequence[PartitionState] = CORUN_STATES,
+    power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
+) -> list[CoRunMeasurement]:
+    """Execute the co-run training sweep and return its measurements."""
+    measurements: list[CoRunMeasurement] = []
+    for kernels in kernel_pairs:
+        counters = tuple(simulator.profile(kernel) for kernel in kernels)
+        names = tuple(kernel.name for kernel in kernels)
+        for state in states:
+            for power_cap in power_caps:
+                result = simulator.co_run(list(kernels), state, power_cap)
+                measurements.append(
+                    CoRunMeasurement(
+                        kernel_names=names,
+                        counters=counters,
+                        state=state,
+                        power_cap_w=float(power_cap),
+                        relative_performances=result.relative_performances,
+                    )
+                )
+    return measurements

@@ -1,0 +1,281 @@
+"""The end-to-end workflow of Figure 7.
+
+* **Offline** (:class:`OfflineTrainer`): run the predetermined benchmark set
+  through the solo and co-run training sweeps and calibrate the model
+  coefficients with least squares.
+* **Online** (:class:`OnlineAllocator`): for an application pair coming from
+  the co-scheduler, look up (or, on first sight, collect) their profiles and
+  solve the requested optimization problem, returning the best partition
+  state and power cap.
+
+:class:`PaperWorkflow` bundles the two for convenience: it is what the
+examples and benchmark harnesses instantiate to go from nothing to decisions
+in a few lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.config import DEFAULT_POWER_CAPS, SCALABILITY_GPC_COUNTS
+from repro.core.decision import AllocationDecision
+from repro.core.features import DEFAULT_BASIS, BasisFunctions
+from repro.core.model import LinearPerfModel
+from repro.core.optimizer import ResourcePowerAllocator
+from repro.core.policies import Policy, Problem1Policy, Problem2Policy
+from repro.core.search import SearchStrategy
+from repro.core.training import (
+    ModelTrainer,
+    collect_corun_measurements,
+    collect_solo_measurements,
+)
+from repro.errors import MissingProfileError
+from repro.gpu.mig import CORUN_STATES, MemoryOption, PartitionState
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.profiler import ProfileCollector
+from repro.sim.engine import PerformanceSimulator
+from repro.workloads.kernel import KernelCharacteristics
+from repro.workloads.pairs import CORUN_PAIRS, CoRunPair
+from repro.workloads.suite import BenchmarkSuite, DEFAULT_SUITE
+
+
+@dataclass(frozen=True)
+class TrainingPlan:
+    """What the offline stage will execute.
+
+    Attributes
+    ----------
+    gpc_counts, options, power_caps:
+        The solo-sweep grid (GPC counts × memory options × power caps).
+    states:
+        The co-run partition states used for the interference calibration.
+    """
+
+    gpc_counts: tuple[int, ...] = SCALABILITY_GPC_COUNTS
+    options: tuple[MemoryOption, ...] = (MemoryOption.PRIVATE, MemoryOption.SHARED)
+    power_caps: tuple[float, ...] = DEFAULT_POWER_CAPS
+    states: tuple[PartitionState, ...] = CORUN_STATES
+
+    @property
+    def solo_runs_per_kernel(self) -> int:
+        """Number of solo training runs each benchmark requires."""
+        return len(self.gpc_counts) * len(self.options) * len(self.power_caps)
+
+    @property
+    def corun_runs_per_pair(self) -> int:
+        """Number of co-run training runs each pair requires."""
+        return len(self.states) * len(self.power_caps)
+
+
+class OfflineTrainer:
+    """The offline half of Figure 7: calibrate the model coefficients."""
+
+    def __init__(
+        self,
+        simulator: PerformanceSimulator | None = None,
+        suite: BenchmarkSuite = DEFAULT_SUITE,
+        plan: TrainingPlan | None = None,
+        basis: BasisFunctions = DEFAULT_BASIS,
+    ) -> None:
+        self._simulator = simulator if simulator is not None else PerformanceSimulator()
+        self._suite = suite
+        self._plan = plan if plan is not None else TrainingPlan()
+        self._basis = basis
+        self._trainer = ModelTrainer(basis)
+
+    @property
+    def simulator(self) -> PerformanceSimulator:
+        """The simulator used for training runs."""
+        return self._simulator
+
+    @property
+    def plan(self) -> TrainingPlan:
+        """The training plan in use."""
+        return self._plan
+
+    @property
+    def trainer(self) -> ModelTrainer:
+        """The underlying least-squares trainer (exposes the training report)."""
+        return self._trainer
+
+    def run(
+        self,
+        training_kernels: Iterable[KernelCharacteristics] | None = None,
+        training_pairs: Sequence[CoRunPair] | None = None,
+    ) -> LinearPerfModel:
+        """Execute the training sweeps and return the calibrated model.
+
+        ``training_kernels`` defaults to every benchmark of the suite;
+        ``training_pairs`` defaults to the Table 8 co-run workloads.
+        """
+        kernels = (
+            list(training_kernels)
+            if training_kernels is not None
+            else list(self._suite.all())
+        )
+        pairs = list(training_pairs) if training_pairs is not None else list(CORUN_PAIRS)
+        solo = collect_solo_measurements(
+            self._simulator,
+            kernels,
+            gpc_counts=self._plan.gpc_counts,
+            options=self._plan.options,
+            power_caps=self._plan.power_caps,
+        )
+        pair_kernels = [pair.kernels(self._suite) for pair in pairs]
+        corun = collect_corun_measurements(
+            self._simulator,
+            pair_kernels,
+            states=self._plan.states,
+            power_caps=self._plan.power_caps,
+        )
+        return self._trainer.train(solo, corun)
+
+
+class OnlineAllocator:
+    """The online half of Figure 7: profile lookup + optimization."""
+
+    def __init__(
+        self,
+        model: LinearPerfModel,
+        database: ProfileDatabase | None = None,
+        collector: ProfileCollector | None = None,
+        candidate_states: Sequence[PartitionState] = CORUN_STATES,
+        power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
+        search: SearchStrategy | None = None,
+    ) -> None:
+        self._database = database if database is not None else ProfileDatabase()
+        self._collector = collector
+        self._allocator = ResourcePowerAllocator(
+            model,
+            candidate_states=candidate_states,
+            power_caps=power_caps,
+            search=search,
+        )
+
+    @property
+    def database(self) -> ProfileDatabase:
+        """The profile database backing the allocator."""
+        return self._database
+
+    @property
+    def allocator(self) -> ResourcePowerAllocator:
+        """The underlying Resource & Power Allocator."""
+        return self._allocator
+
+    # ------------------------------------------------------------------
+    def ensure_profiled(self, kernel: KernelCharacteristics) -> None:
+        """Collect and store a profile for ``kernel`` if none exists.
+
+        This is the paper's "first run must be a profile run" rule; it only
+        works when a collector was supplied, otherwise the application is
+        simply reported as unprofiled.
+        """
+        if self._database.has(kernel.name):
+            return
+        if self._collector is None:
+            raise MissingProfileError(
+                f"no profile recorded for application {kernel.name!r} and no "
+                "profile collector is configured"
+            )
+        self._database.add(self._collector.collect(kernel))
+
+    def decide(self, app_names: Sequence[str], policy: Policy) -> AllocationDecision:
+        """Solve ``policy`` for the applications named in ``app_names``.
+
+        Every application must already have a profile in the database.
+        """
+        counters = [self._database.get(name).counters for name in app_names]
+        return self._allocator.solve(counters, policy)
+
+
+class PaperWorkflow:
+    """Offline training + online decisions, bundled (Figure 7 end to end)."""
+
+    def __init__(
+        self,
+        simulator: PerformanceSimulator | None = None,
+        suite: BenchmarkSuite = DEFAULT_SUITE,
+        plan: TrainingPlan | None = None,
+        basis: BasisFunctions = DEFAULT_BASIS,
+        candidate_states: Sequence[PartitionState] = CORUN_STATES,
+        power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
+        search: SearchStrategy | None = None,
+    ) -> None:
+        self._simulator = simulator if simulator is not None else PerformanceSimulator()
+        self._suite = suite
+        self._offline = OfflineTrainer(self._simulator, suite, plan, basis)
+        self._candidate_states = tuple(candidate_states)
+        self._power_caps = tuple(float(p) for p in power_caps)
+        self._search = search
+        self._model: LinearPerfModel | None = None
+        self._online: OnlineAllocator | None = None
+
+    @property
+    def simulator(self) -> PerformanceSimulator:
+        """The simulator shared by training, profiling, and evaluation."""
+        return self._simulator
+
+    @property
+    def suite(self) -> BenchmarkSuite:
+        """The benchmark suite in use."""
+        return self._suite
+
+    @property
+    def offline(self) -> OfflineTrainer:
+        """The offline trainer (exposes the training plan and report)."""
+        return self._offline
+
+    @property
+    def model(self) -> LinearPerfModel:
+        """The trained model (training is triggered on first access)."""
+        if self._model is None:
+            self.train()
+        assert self._model is not None
+        return self._model
+
+    @property
+    def online(self) -> OnlineAllocator:
+        """The online allocator (training is triggered on first access)."""
+        if self._online is None:
+            self.train()
+        assert self._online is not None
+        return self._online
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        training_kernels: Iterable[KernelCharacteristics] | None = None,
+        training_pairs: Sequence[CoRunPair] | None = None,
+    ) -> LinearPerfModel:
+        """Run the offline stage and set up the online allocator."""
+        self._model = self._offline.run(training_kernels, training_pairs)
+        collector = ProfileCollector(self._simulator)
+        database = ProfileDatabase()
+        collector.collect_into(self._suite.all(), database)
+        self._online = OnlineAllocator(
+            self._model,
+            database=database,
+            collector=collector,
+            candidate_states=self._candidate_states,
+            power_caps=self._power_caps,
+            search=self._search,
+        )
+        return self._model
+
+    # ------------------------------------------------------------------
+    def decide_problem1(
+        self, app_names: Sequence[str], power_cap_w: float, alpha: float = 0.2
+    ) -> AllocationDecision:
+        """Problem 1 decision for a pair of profiled applications."""
+        return self.online.decide(
+            app_names, Problem1Policy(power_cap_w=power_cap_w, alpha=alpha)
+        )
+
+    def decide_problem2(
+        self, app_names: Sequence[str], alpha: float = 0.2
+    ) -> AllocationDecision:
+        """Problem 2 decision for a pair of profiled applications."""
+        return self.online.decide(
+            app_names, Problem2Policy(alpha=alpha, power_caps=self._power_caps)
+        )

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by this library derive from :class:`ReproError` so
+that callers can catch library-specific failures with a single ``except``
+clause while still distinguishing configuration problems from runtime /
+simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class SpecificationError(ConfigurationError):
+    """A hardware specification (GPU spec, partition state, ...) is invalid."""
+
+
+class PartitioningError(ReproError):
+    """A MIG partitioning request cannot be satisfied.
+
+    Raised, for example, when the requested number of GPCs is not a valid
+    Compute Instance size, when the GPU does not have enough free GPCs or
+    memory slices, or when MIG mode is not enabled.
+    """
+
+
+class PowerCapError(ReproError):
+    """A power-cap request is outside the supported range of the device."""
+
+
+class WorkloadError(ReproError):
+    """A workload/kernel definition or lookup failed."""
+
+
+class UnknownKernelError(WorkloadError, KeyError):
+    """A kernel name was not found in the benchmark suite registry."""
+
+
+class ProfileError(ReproError):
+    """A profile record is missing, malformed, or inconsistent."""
+
+
+class MissingProfileError(ProfileError, KeyError):
+    """No profile has been recorded for the requested application.
+
+    The paper's workflow requires a profile run before an application can be
+    considered for co-scheduling; this error mirrors that requirement.
+    """
+
+
+class ModelError(ReproError):
+    """The performance model cannot be trained or evaluated as requested."""
+
+
+class NotFittedError(ModelError):
+    """The model was asked to predict before the coefficients were fitted."""
+
+
+class OptimizationError(ReproError):
+    """The allocator could not produce a decision for the given policy."""
+
+
+class InfeasibleProblemError(OptimizationError):
+    """No candidate configuration satisfies the policy's constraints.
+
+    For instance, no ``(S, P)`` combination meets the fairness threshold
+    ``alpha`` for the given application pair.
+    """
+
+
+class SimulationError(ReproError):
+    """The execution simulator was driven into an invalid state."""
+
+
+class SchedulingError(ReproError):
+    """The cluster-level job manager could not schedule a job."""

@@ -1,0 +1,494 @@
+"""MIG (Multi-Instance GPU) partitioning model.
+
+MIG partitions an A100 hierarchically:
+
+* **GPU Instances (GIs)** own GPCs *and* LLC/HBM memory slices.  Memory is
+  completely isolated between different GIs.
+* **Compute Instances (CIs)** live inside a GI and own a subset of its GPCs.
+  All CIs of one GI *share* the GI's LLC/HBM resources.
+
+The paper exploits exactly this hierarchy to expose two memory options for a
+pair of co-located applications (Figures 2 and 3):
+
+* **private** — one GI per application: no interference, but each
+  application only sees its own memory slices (less bandwidth).
+* **shared** — one large GI containing both applications as CIs: both can
+  use the full chip bandwidth, at the cost of LLC/HBM interference.
+
+This module provides two layers:
+
+* :class:`PartitionState` — an immutable *description* of a partitioning
+  decision (how many GPCs per application + the memory option).  This is the
+  ``S`` variable of the paper's optimization problems; the four states
+  explored in the evaluation are exported as :data:`S1` … :data:`S4`.
+* :class:`MIGManager` — a stateful manager that actually creates/destroys
+  GIs and CIs against a :class:`~repro.gpu.topology.ChipTopology`, mimicking
+  the ``nvidia-smi mig`` workflow (including UUIDs that a job scheduler
+  would pass via ``CUDA_VISIBLE_DEVICES``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import PartitioningError, SpecificationError
+from repro.gpu.spec import A100_SPEC, GPUSpec
+from repro.gpu.topology import ChipTopology
+
+
+class MemoryOption(str, Enum):
+    """LLC/HBM sharing option between co-located applications."""
+
+    #: Each application gets its own GPU Instance (isolated memory slices).
+    PRIVATE = "private"
+    #: One GPU Instance hosts all applications as Compute Instances
+    #: (memory resources shared; full-chip bandwidth visible to everyone).
+    SHARED = "shared"
+
+
+#: Memory slices granted to a GPU Instance of a given GPC size on the A100
+#: (the paper, Section 3: "when we utilize 1, 2, 3, 4, or 7 GPCs with the
+#: private option, 1, 2, 4, 4, or 8 LLC/HBM modules are assigned").
+GPC_TO_MEM_SLICES: Mapping[int, int] = {1: 1, 2: 2, 3: 4, 4: 4, 7: 8}
+
+#: Compute/GPU Instance sizes supported by the MIG feature (no 5- or 6-GPC
+#: instances exist on the A100).
+VALID_INSTANCE_SIZES: tuple[int, ...] = (1, 2, 3, 4, 7)
+
+
+@dataclass(frozen=True)
+class InstanceAllocation:
+    """Resources visible to one application under a partition state.
+
+    Attributes
+    ----------
+    gpcs:
+        Number of GPCs allocated to the application.
+    mem_slices:
+        Number of LLC/HBM slices whose bandwidth the application can use.
+        Under the shared option this is the full chip's slice count.
+    shared_memory:
+        ``True`` when the LLC/HBM resources are shared with co-located
+        applications (shared option), ``False`` when they are private.
+    """
+
+    gpcs: int
+    mem_slices: int
+    shared_memory: bool
+
+    def __post_init__(self) -> None:
+        if self.gpcs not in VALID_INSTANCE_SIZES:
+            raise SpecificationError(
+                f"{self.gpcs} GPCs is not a valid instance size; "
+                f"valid sizes are {VALID_INSTANCE_SIZES}"
+            )
+        if self.mem_slices <= 0:
+            raise SpecificationError("mem_slices must be positive")
+
+
+@dataclass(frozen=True)
+class PartitionState:
+    """A resource-partitioning and job-allocation decision (the ``S`` knob).
+
+    Attributes
+    ----------
+    gpc_allocations:
+        GPCs allocated to each co-located application, in application order
+        (``gpc_allocations[i]`` belongs to ``App(i+1)``).  A single-element
+        tuple describes a solo run on a partition.
+    option:
+        The LLC/HBM sharing option.
+    label:
+        Optional short name (``"S1"`` … ``"S4"`` for the paper's states).
+    """
+
+    gpc_allocations: tuple[int, ...]
+    option: MemoryOption
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.gpc_allocations:
+            raise SpecificationError("at least one application allocation is required")
+        for gpcs in self.gpc_allocations:
+            if gpcs not in VALID_INSTANCE_SIZES:
+                raise SpecificationError(
+                    f"{gpcs} GPCs is not a valid instance size; "
+                    f"valid sizes are {VALID_INSTANCE_SIZES}"
+                )
+        option = MemoryOption(self.option)
+        object.__setattr__(self, "option", option)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_apps(self) -> int:
+        """Number of co-located applications described by this state."""
+        return len(self.gpc_allocations)
+
+    @property
+    def total_gpcs(self) -> int:
+        """Total number of GPCs consumed by the state."""
+        return sum(self.gpc_allocations)
+
+    @property
+    def is_solo(self) -> bool:
+        """Whether this state describes a single application."""
+        return self.n_apps == 1
+
+    def allocation_for(self, index: int) -> InstanceAllocation:
+        """Resources visible to application ``index`` (0-based)."""
+        if not (0 <= index < self.n_apps):
+            raise IndexError(f"application index {index} out of range")
+        gpcs = self.gpc_allocations[index]
+        if self.option is MemoryOption.SHARED:
+            mem_slices = GPC_TO_MEM_SLICES[7]
+        else:
+            mem_slices = GPC_TO_MEM_SLICES[gpcs]
+        return InstanceAllocation(
+            gpcs=gpcs,
+            mem_slices=mem_slices,
+            shared_memory=self.option is MemoryOption.SHARED,
+        )
+
+    def allocations(self) -> tuple[InstanceAllocation, ...]:
+        """Resources visible to every application, in application order."""
+        return tuple(self.allocation_for(i) for i in range(self.n_apps))
+
+    def swapped(self) -> "PartitionState":
+        """The same state with the application order reversed.
+
+        Swapping S1 gives S2, swapping S3 gives S4 — useful when enumerating
+        job-allocation alternatives.
+        """
+        return PartitionState(
+            gpc_allocations=tuple(reversed(self.gpc_allocations)),
+            option=self.option,
+            label=None,
+        )
+
+    def validate_against(self, spec: GPUSpec) -> None:
+        """Check that the state is realizable on hardware described by ``spec``.
+
+        Raises
+        ------
+        repro.errors.PartitioningError
+            If the state needs more GPCs or memory slices than MIG exposes.
+        """
+        if self.total_gpcs > spec.mig_gpcs:
+            raise PartitioningError(
+                f"state {self.describe()} needs {self.total_gpcs} GPCs but MIG "
+                f"exposes only {spec.mig_gpcs}"
+            )
+        if self.option is MemoryOption.PRIVATE:
+            needed_slices = sum(
+                GPC_TO_MEM_SLICES[g] for g in self.gpc_allocations
+            )
+            if needed_slices > spec.n_mem_slices:
+                raise PartitioningError(
+                    f"state {self.describe()} needs {needed_slices} memory slices "
+                    f"but the chip has only {spec.n_mem_slices}"
+                )
+
+    def describe(self) -> str:
+        """Human-readable description, e.g. ``"4GPCs-3GPCs/Shared"``."""
+        gpcs = "-".join(f"{g}GPCs" for g in self.gpc_allocations)
+        name = f"{gpcs}/{self.option.value.capitalize()}"
+        if self.label:
+            return f"{self.label}({name})"
+        return name
+
+    def key(self) -> tuple:
+        """Hashable identity ignoring the label (used as model dictionary key)."""
+        return (self.gpc_allocations, self.option.value)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+# ----------------------------------------------------------------------
+# The four co-run states evaluated by the paper (Table 5) and the solo
+# states used for the scalability observations (Section 3.1).
+# ----------------------------------------------------------------------
+S1 = PartitionState((4, 3), MemoryOption.SHARED, "S1")
+S2 = PartitionState((3, 4), MemoryOption.SHARED, "S2")
+S3 = PartitionState((4, 3), MemoryOption.PRIVATE, "S3")
+S4 = PartitionState((3, 4), MemoryOption.PRIVATE, "S4")
+
+#: The candidate partitioning/allocation states of Table 5, in order.
+CORUN_STATES: tuple[PartitionState, ...] = (S1, S2, S3, S4)
+
+
+def solo_state(gpcs: int, option: MemoryOption | str = MemoryOption.PRIVATE) -> PartitionState:
+    """A partition state describing a solo run on ``gpcs`` GPCs.
+
+    With the *private* option the instance owns the memory slices listed in
+    :data:`GPC_TO_MEM_SLICES`; with the *shared* option the instance is a CI
+    inside a full-GPU GI and therefore sees the whole memory system —
+    exactly the two scalability configurations of Figure 4.
+    """
+    return PartitionState((gpcs,), MemoryOption(option))
+
+
+def solo_states(
+    sizes: Sequence[int] = VALID_INSTANCE_SIZES,
+    options: Sequence[MemoryOption] = (MemoryOption.PRIVATE, MemoryOption.SHARED),
+) -> tuple[PartitionState, ...]:
+    """All solo partition states for the given sizes and memory options."""
+    return tuple(solo_state(g, o) for o in options for g in sizes)
+
+
+def enumerate_corun_states(
+    spec: GPUSpec = A100_SPEC,
+    options: Sequence[MemoryOption] = (MemoryOption.SHARED, MemoryOption.PRIVATE),
+) -> tuple[PartitionState, ...]:
+    """Every realizable two-application partition state on ``spec``.
+
+    The paper evaluates the 4+3 split only (Table 5), but the optimizer is
+    written against this generic enumeration so that finer-grained future
+    hardware (the paper's Section 6 discussion) is covered by construction.
+    """
+    states: list[PartitionState] = []
+    for option in options:
+        for g1, g2 in itertools.product(VALID_INSTANCE_SIZES, repeat=2):
+            candidate = PartitionState((g1, g2), option)
+            try:
+                candidate.validate_against(spec)
+            except PartitioningError:
+                continue
+            states.append(candidate)
+    return tuple(states)
+
+
+# ----------------------------------------------------------------------
+# Stateful MIG manager (nvidia-smi mig -cgi / -cci work-alike)
+# ----------------------------------------------------------------------
+@dataclass
+class ComputeInstance:
+    """A Compute Instance (CI): the schedulable entity a CUDA job runs on."""
+
+    ci_id: int
+    gi_id: int
+    gpcs: int
+    uuid: str
+
+
+@dataclass
+class GPUInstance:
+    """A GPU Instance (GI): owns GPCs and memory slices."""
+
+    gi_id: int
+    gpcs: int
+    mem_slices: int
+    compute_instances: list[ComputeInstance] = field(default_factory=list)
+
+    @property
+    def free_gpcs(self) -> int:
+        """GPCs of this GI not yet assigned to a Compute Instance."""
+        return self.gpcs - sum(ci.gpcs for ci in self.compute_instances)
+
+
+class MIGManager:
+    """Create and destroy MIG instances on a simulated chip.
+
+    The manager mirrors the real administration workflow:
+
+    1. :meth:`enable_mig` (disables one GPC on the A100);
+    2. :meth:`create_gpu_instance` carves GPCs + memory slices out of the
+       chip;
+    3. :meth:`create_compute_instance` carves GPCs out of a GI and returns a
+       CI with a UUID that can be handed to ``CUDA_VISIBLE_DEVICES``;
+    4. :meth:`apply_partition_state` is the convenience entry point used by
+       the rest of the library: it tears down the current layout and builds
+       the GIs/CIs needed by a :class:`PartitionState`.
+    """
+
+    def __init__(self, spec: GPUSpec = A100_SPEC) -> None:
+        self._spec = spec
+        self._topology = ChipTopology(spec)
+        self._instances: dict[int, GPUInstance] = {}
+        self._next_gi_id = 0
+        self._next_ci_id = 0
+        self._uuid_counter = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> GPUSpec:
+        """The hardware specification of the managed chip."""
+        return self._spec
+
+    @property
+    def topology(self) -> ChipTopology:
+        """The underlying ownership map (read-mostly for callers)."""
+        return self._topology
+
+    @property
+    def mig_enabled(self) -> bool:
+        """Whether MIG mode is currently enabled."""
+        return self._topology.mig_enabled
+
+    @property
+    def free_gpcs(self) -> int:
+        """GPCs not owned by any GPU Instance."""
+        return self._topology.free_gpcs
+
+    @property
+    def free_mem_slices(self) -> int:
+        """Memory slices not owned by any GPU Instance."""
+        return self._topology.free_slices
+
+    # ------------------------------------------------------------------
+    # MIG mode
+    # ------------------------------------------------------------------
+    def enable_mig(self) -> None:
+        """Enable MIG mode (idempotent)."""
+        self._topology.set_mig_mode(True)
+
+    def disable_mig(self) -> None:
+        """Disable MIG mode; requires all instances to be destroyed first."""
+        if self._instances:
+            raise PartitioningError("destroy all GPU Instances before disabling MIG")
+        self._topology.set_mig_mode(False)
+
+    # ------------------------------------------------------------------
+    # Instance management
+    # ------------------------------------------------------------------
+    def create_gpu_instance(self, gpcs: int, mem_slices: int | None = None) -> GPUInstance:
+        """Create a GPU Instance owning ``gpcs`` GPCs.
+
+        ``mem_slices`` defaults to the A100 profile mapping
+        (:data:`GPC_TO_MEM_SLICES`).
+        """
+        if not self.mig_enabled:
+            raise PartitioningError("MIG mode must be enabled before creating instances")
+        if gpcs not in VALID_INSTANCE_SIZES:
+            raise PartitioningError(
+                f"{gpcs} GPCs is not a valid GPU Instance size; valid: {VALID_INSTANCE_SIZES}"
+            )
+        if mem_slices is None:
+            mem_slices = GPC_TO_MEM_SLICES[gpcs]
+        gi_id = self._next_gi_id
+        try:
+            self._topology.claim_gpcs(gi_id, gpcs)
+        except PartitioningError:
+            raise PartitioningError(
+                f"not enough free GPCs for a {gpcs}-GPC GPU Instance "
+                f"(free: {self.free_gpcs})"
+            ) from None
+        try:
+            self._topology.claim_slices(gi_id, mem_slices)
+        except PartitioningError:
+            self._topology.release_owner(gi_id)
+            raise PartitioningError(
+                f"not enough free memory slices for a {gpcs}-GPC GPU Instance "
+                f"(needed {mem_slices}, free: {self.free_mem_slices})"
+            ) from None
+        instance = GPUInstance(gi_id=gi_id, gpcs=gpcs, mem_slices=mem_slices)
+        self._instances[gi_id] = instance
+        self._next_gi_id += 1
+        return instance
+
+    def create_compute_instance(self, gi_id: int, gpcs: int) -> ComputeInstance:
+        """Create a Compute Instance with ``gpcs`` GPCs inside GI ``gi_id``."""
+        instance = self._instances.get(gi_id)
+        if instance is None:
+            raise PartitioningError(f"no GPU Instance with id {gi_id}")
+        if gpcs not in VALID_INSTANCE_SIZES:
+            raise PartitioningError(
+                f"{gpcs} GPCs is not a valid Compute Instance size; valid: {VALID_INSTANCE_SIZES}"
+            )
+        if gpcs > instance.free_gpcs:
+            raise PartitioningError(
+                f"GPU Instance {gi_id} has only {instance.free_gpcs} free GPCs, "
+                f"requested {gpcs}"
+            )
+        ci = ComputeInstance(
+            ci_id=self._next_ci_id,
+            gi_id=gi_id,
+            gpcs=gpcs,
+            uuid=self._make_uuid(),
+        )
+        instance.compute_instances.append(ci)
+        self._next_ci_id += 1
+        return ci
+
+    def destroy_compute_instance(self, uuid: str) -> None:
+        """Destroy the Compute Instance identified by ``uuid``."""
+        for instance in self._instances.values():
+            for ci in instance.compute_instances:
+                if ci.uuid == uuid:
+                    instance.compute_instances.remove(ci)
+                    return
+        raise PartitioningError(f"no Compute Instance with UUID {uuid!r}")
+
+    def destroy_gpu_instance(self, gi_id: int) -> None:
+        """Destroy GPU Instance ``gi_id`` (must hold no Compute Instances)."""
+        instance = self._instances.get(gi_id)
+        if instance is None:
+            raise PartitioningError(f"no GPU Instance with id {gi_id}")
+        if instance.compute_instances:
+            raise PartitioningError(
+                f"GPU Instance {gi_id} still holds Compute Instances; destroy them first"
+            )
+        self._topology.release_owner(gi_id)
+        del self._instances[gi_id]
+
+    def reset(self) -> None:
+        """Destroy every instance (Compute Instances first, then GIs)."""
+        for instance in list(self._instances.values()):
+            instance.compute_instances.clear()
+            self.destroy_gpu_instance(instance.gi_id)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def list_gpu_instances(self) -> tuple[GPUInstance, ...]:
+        """All existing GPU Instances, ordered by creation."""
+        return tuple(self._instances[g] for g in sorted(self._instances))
+
+    def list_compute_instances(self) -> tuple[ComputeInstance, ...]:
+        """All existing Compute Instances, ordered by creation."""
+        cis = [ci for gi in self.list_gpu_instances() for ci in gi.compute_instances]
+        return tuple(sorted(cis, key=lambda ci: ci.ci_id))
+
+    def find_compute_instance(self, uuid: str) -> ComputeInstance:
+        """Look up a Compute Instance by UUID."""
+        for ci in self.list_compute_instances():
+            if ci.uuid == uuid:
+                return ci
+        raise PartitioningError(f"no Compute Instance with UUID {uuid!r}")
+
+    # ------------------------------------------------------------------
+    # High-level entry point
+    # ------------------------------------------------------------------
+    def apply_partition_state(self, state: PartitionState) -> tuple[ComputeInstance, ...]:
+        """Realize a :class:`PartitionState`, returning one CI per application.
+
+        The previous layout is torn down first.  For the *private* option one
+        GI is created per application; for the *shared* option a single
+        full-size GI hosts one CI per application.
+        """
+        state.validate_against(self._spec)
+        self.reset()
+        self.enable_mig()
+        cis: list[ComputeInstance] = []
+        if state.option is MemoryOption.PRIVATE:
+            for gpcs in state.gpc_allocations:
+                gi = self.create_gpu_instance(gpcs)
+                cis.append(self.create_compute_instance(gi.gi_id, gpcs))
+        else:
+            gi = self.create_gpu_instance(self._spec.mig_gpcs, self._spec.n_mem_slices)
+            for gpcs in state.gpc_allocations:
+                cis.append(self.create_compute_instance(gi.gi_id, gpcs))
+        return tuple(cis)
+
+    def iter_visible_devices(self) -> Iterator[str]:
+        """UUIDs of all Compute Instances, as a scheduler would enumerate them."""
+        for ci in self.list_compute_instances():
+            yield ci.uuid
+
+    # ------------------------------------------------------------------
+    def _make_uuid(self) -> str:
+        self._uuid_counter += 1
+        return f"MIG-GPU-{self._spec.name}-{self._uuid_counter:04d}"

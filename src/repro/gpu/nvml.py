@@ -1,0 +1,228 @@
+"""NVML / ``nvidia-smi``-style facade over the simulated GPU.
+
+The paper's tooling drives the real A100 through two interfaces:
+
+* ``nvidia-smi -pl <watts>`` to set the chip power cap, and
+* ``nvidia-smi mig -cgi/-cci`` (or the NVML MIG APIs) to create GPU and
+  Compute Instances.
+
+Higher layers of this library never need to touch those interfaces — the
+simulator takes :class:`~repro.gpu.mig.PartitionState` / power-cap values
+directly — but the facade exists so that (a) example scripts can show the
+same administration workflow a real deployment would use, and (b) tests can
+exercise the error behaviour of the administration path (invalid caps,
+double-enable, missing instances, ...).
+
+Two API styles are provided:
+
+* :class:`SimulatedNVML` — a pynvml-like functional API
+  (``nvmlDeviceSetPowerManagementLimit`` and friends, with watt↔milliwatt
+  conversions as in the real library).
+* :class:`SimulatedSMI` — a small convenience wrapper that mimics the
+  ``nvidia-smi`` commands used in the paper and keeps a command log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PartitioningError, PowerCapError
+from repro.gpu.mig import MIGManager, PartitionState
+from repro.gpu.spec import A100_SPEC, GPUSpec
+
+
+@dataclass
+class DeviceHandle:
+    """Opaque handle to a simulated device (index 0 is the only GPU)."""
+
+    index: int
+    spec: GPUSpec
+
+
+@dataclass
+class DeviceState:
+    """Mutable administrative state of the simulated device."""
+
+    power_limit_w: float
+    mig_mode_pending: bool = False
+    persistence_mode: bool = False
+
+
+class SimulatedNVML:
+    """pynvml-work-alike bound to a single simulated GPU.
+
+    Only the calls the paper's workflow needs are implemented; unknown
+    queries raise :class:`AttributeError` naturally.
+    """
+
+    def __init__(self, spec: GPUSpec = A100_SPEC) -> None:
+        self._spec = spec
+        self._initialized = False
+        self._mig = MIGManager(spec)
+        self._state = DeviceState(power_limit_w=spec.default_power_limit_w)
+
+    # ------------------------------------------------------------------
+    # Library lifecycle
+    # ------------------------------------------------------------------
+    def nvmlInit(self) -> None:
+        """Initialize the library (idempotent)."""
+        self._initialized = True
+
+    def nvmlShutdown(self) -> None:
+        """Shut the library down (idempotent)."""
+        self._initialized = False
+
+    def _require_init(self) -> None:
+        if not self._initialized:
+            raise RuntimeError("NVML has not been initialized (call nvmlInit first)")
+
+    # ------------------------------------------------------------------
+    # Device enumeration
+    # ------------------------------------------------------------------
+    def nvmlDeviceGetCount(self) -> int:
+        """Number of simulated devices (always 1)."""
+        self._require_init()
+        return 1
+
+    def nvmlDeviceGetHandleByIndex(self, index: int) -> DeviceHandle:
+        """Handle for device ``index``."""
+        self._require_init()
+        if index != 0:
+            raise PartitioningError(f"no device with index {index}")
+        return DeviceHandle(index=0, spec=self._spec)
+
+    def nvmlDeviceGetName(self, handle: DeviceHandle) -> str:
+        """Marketing name of the device."""
+        self._require_init()
+        return handle.spec.name
+
+    # ------------------------------------------------------------------
+    # Power management (NVML uses milliwatts)
+    # ------------------------------------------------------------------
+    def nvmlDeviceGetPowerManagementLimit(self, handle: DeviceHandle) -> int:
+        """Current power limit in milliwatts."""
+        self._require_init()
+        return int(round(self._state.power_limit_w * 1000))
+
+    def nvmlDeviceGetPowerManagementDefaultLimit(self, handle: DeviceHandle) -> int:
+        """Factory default power limit in milliwatts."""
+        self._require_init()
+        return int(round(self._spec.default_power_limit_w * 1000))
+
+    def nvmlDeviceGetPowerManagementLimitConstraints(
+        self, handle: DeviceHandle
+    ) -> tuple[int, int]:
+        """(min, max) supported power limits in milliwatts."""
+        self._require_init()
+        return (
+            int(round(self._spec.min_power_cap_w * 1000)),
+            int(round(self._spec.max_power_cap_w * 1000)),
+        )
+
+    def nvmlDeviceSetPowerManagementLimit(
+        self, handle: DeviceHandle, limit_mw: int
+    ) -> None:
+        """Set the chip power limit (milliwatts, like the real API)."""
+        self._require_init()
+        watts = limit_mw / 1000.0
+        if not (self._spec.min_power_cap_w <= watts <= self._spec.max_power_cap_w):
+            raise PowerCapError(
+                f"power limit {watts} W outside supported range "
+                f"[{self._spec.min_power_cap_w}, {self._spec.max_power_cap_w}] W"
+            )
+        self._state.power_limit_w = watts
+
+    # ------------------------------------------------------------------
+    # MIG management
+    # ------------------------------------------------------------------
+    def nvmlDeviceSetMigMode(self, handle: DeviceHandle, enable: bool) -> None:
+        """Enable or disable MIG mode on the device."""
+        self._require_init()
+        if enable:
+            self._mig.enable_mig()
+        else:
+            self._mig.disable_mig()
+
+    def nvmlDeviceGetMigMode(self, handle: DeviceHandle) -> bool:
+        """Whether MIG mode is currently enabled."""
+        self._require_init()
+        return self._mig.mig_enabled
+
+    # ------------------------------------------------------------------
+    # Convenience accessors used by the rest of the library / examples
+    # ------------------------------------------------------------------
+    @property
+    def mig_manager(self) -> MIGManager:
+        """The underlying MIG manager (for instance creation)."""
+        return self._mig
+
+    @property
+    def power_limit_w(self) -> float:
+        """Current power limit in watts."""
+        return self._state.power_limit_w
+
+
+class SimulatedSMI:
+    """``nvidia-smi``-style convenience wrapper with a command log.
+
+    The command log records the equivalent shell commands an operator (or a
+    SLURM prolog script) would have issued, which makes example output easy
+    to relate back to the paper's methodology.
+    """
+
+    def __init__(self, spec: GPUSpec = A100_SPEC) -> None:
+        self._nvml = SimulatedNVML(spec)
+        self._nvml.nvmlInit()
+        self._handle = self._nvml.nvmlDeviceGetHandleByIndex(0)
+        self._spec = spec
+        self.command_log: list[str] = []
+
+    @property
+    def nvml(self) -> SimulatedNVML:
+        """The underlying NVML facade."""
+        return self._nvml
+
+    @property
+    def spec(self) -> GPUSpec:
+        """The device specification."""
+        return self._spec
+
+    @property
+    def power_limit_w(self) -> float:
+        """Current chip power limit in watts."""
+        return self._nvml.power_limit_w
+
+    # ------------------------------------------------------------------
+    def set_power_limit(self, watts: float) -> None:
+        """``nvidia-smi -pl <watts>``."""
+        self._nvml.nvmlDeviceSetPowerManagementLimit(self._handle, int(round(watts * 1000)))
+        self.command_log.append(f"nvidia-smi -pl {watts:g}")
+
+    def enable_mig(self) -> None:
+        """``nvidia-smi -mig 1``."""
+        self._nvml.nvmlDeviceSetMigMode(self._handle, True)
+        self.command_log.append("nvidia-smi -mig 1")
+
+    def disable_mig(self) -> None:
+        """``nvidia-smi -mig 0``."""
+        self._nvml.nvmlDeviceSetMigMode(self._handle, False)
+        self.command_log.append("nvidia-smi -mig 0")
+
+    def apply_partition_state(self, state: PartitionState) -> tuple[str, ...]:
+        """Create the GIs/CIs of ``state`` and return the CI UUIDs.
+
+        The returned UUIDs are what a job manager would export through
+        ``CUDA_VISIBLE_DEVICES`` for each co-located job.
+        """
+        cis = self._nvml.mig_manager.apply_partition_state(state)
+        self.command_log.append(f"nvidia-smi mig # apply {state.describe()}")
+        return tuple(ci.uuid for ci in cis)
+
+    def visible_devices(self) -> tuple[str, ...]:
+        """UUIDs of all Compute Instances currently configured."""
+        return tuple(self._nvml.mig_manager.iter_visible_devices())
+
+    def reset_partitions(self) -> None:
+        """Destroy all MIG instances (``nvidia-smi mig -dci/-dgi``)."""
+        self._nvml.mig_manager.reset()
+        self.command_log.append("nvidia-smi mig -dci && nvidia-smi mig -dgi")

@@ -1,0 +1,298 @@
+"""Static hardware specification of the simulated GPU.
+
+The :class:`GPUSpec` dataclass gathers every hardware parameter the rest of
+the library needs: the partitionable compute resources (GPCs and the SMs
+inside them), the memory system (LLC/HBM "slices" that MIG assigns to GPU
+Instances), the per-pipe peak throughputs (CUDA FP32/FP64 cores and the
+three Tensor-Core modes the paper's counters distinguish), and the
+parameters of the analytic power model.
+
+The default :data:`A100_SPEC` is modelled after the NVIDIA A100 40 GB PCIe
+card used in the paper (Table 2).  The absolute numbers follow the public
+data sheet where available; power-model constants are calibrated so that the
+qualitative behaviour reported by the paper holds (compute- and Tensor-
+intensive kernels are throttled by chip power caps, memory-bound and
+unscalable kernels are not — Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Mapping
+
+from repro.errors import SpecificationError
+
+
+class Pipe(str, Enum):
+    """Computational pipes distinguished by the simulator and the profiler.
+
+    The paper's feature vector (Table 3) separates generic compute
+    throughput from three Tensor-Core utilization counters (MIXED, DOUBLE,
+    INTEGER); the pipes below mirror that split.
+    """
+
+    #: FP32 CUDA cores (also used for generic integer/ALU work).
+    FP32 = "fp32"
+    #: FP64 CUDA cores.
+    FP64 = "fp64"
+    #: Tensor Cores operating on FP16/BF16/TF32 inputs ("Tensor MIXED").
+    TENSOR_MIXED = "tensor_mixed"
+    #: Tensor Cores operating on FP64 inputs ("Tensor DOUBLE").
+    TENSOR_DOUBLE = "tensor_double"
+    #: Tensor Cores operating on INT8/INT4 inputs ("Tensor INTEGER").
+    TENSOR_INT = "tensor_int"
+
+    @property
+    def is_tensor(self) -> bool:
+        """Whether this pipe is one of the Tensor-Core pipes."""
+        return self in (Pipe.TENSOR_MIXED, Pipe.TENSOR_DOUBLE, Pipe.TENSOR_INT)
+
+
+#: Pipes that map onto Tensor Cores.
+TENSOR_PIPES: tuple[Pipe, ...] = (
+    Pipe.TENSOR_MIXED,
+    Pipe.TENSOR_DOUBLE,
+    Pipe.TENSOR_INT,
+)
+
+#: Pipes that map onto the regular CUDA cores.
+CUDA_PIPES: tuple[Pipe, ...] = (Pipe.FP32, Pipe.FP64)
+
+
+@dataclass(frozen=True)
+class PipeThroughput:
+    """Peak throughput of one computational pipe on the *full* chip.
+
+    Attributes
+    ----------
+    pipe:
+        Which pipe this entry describes.
+    tflops:
+        Peak throughput in TFLOP/s (or TOP/s for the integer Tensor pipe) of
+        the whole chip (all GPCs) at the maximum boost clock.
+    """
+
+    pipe: Pipe
+    tflops: float
+
+    def __post_init__(self) -> None:
+        if self.tflops <= 0.0:
+            raise SpecificationError(
+                f"pipe {self.pipe.value} must have positive throughput, got {self.tflops}"
+            )
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Complete hardware description of a simulated, MIG-capable GPU.
+
+    Compute/partitioning parameters
+    -------------------------------
+    n_gpcs:
+        Number of GPCs physically present on the die (8 for A100).
+    mig_gpcs:
+        Number of GPCs usable when MIG is enabled (7 for A100 — one GPC is
+        disabled by the hardware when MIG mode is switched on).
+    sms_per_gpc:
+        Streaming Multiprocessors per GPC.
+    pipe_tflops:
+        Peak full-chip throughput per :class:`Pipe` in TFLOP/s at the
+        maximum clock.
+
+    Memory-system parameters
+    ------------------------
+    dram_bandwidth_gbs:
+        Peak HBM bandwidth of the full chip in GB/s.
+    n_mem_slices:
+        Number of LLC/HBM slices that MIG distributes across GPU Instances
+        (8 for A100).
+    l2_cache_mb:
+        Total last-level-cache capacity in MiB.
+    hbm_capacity_gb:
+        Total HBM capacity in GB.
+
+    Clock / power parameters
+    ------------------------
+    max_clock_ghz, base_clock_ghz, min_clock_ghz:
+        Boost, base, and minimum sustainable clocks.  The simulator expresses
+        the operating point as a *relative frequency* ``f`` in
+        ``[min_clock_ghz / max_clock_ghz, 1.0]`` where ``1.0`` is the boost
+        clock.
+    clock_step_ghz:
+        Clock quantization step used by the DVFS governor.
+    default_power_limit_w:
+        Factory power limit — the "no power capping" operating point the
+        paper normalizes against (250 W for the A100 PCIe).
+    min_power_cap_w, max_power_cap_w:
+        Range accepted by the power-capping interface.
+    static_power_w:
+        Frequency-independent chip power (leakage, NVLink/PCIe PHYs, ...).
+    gpc_idle_power_w:
+        Power of one powered-on but idle GPC.
+    gpc_cuda_power_w:
+        Additional dynamic power of one GPC at full CUDA-core utilization
+        and maximum clock.
+    gpc_tensor_power_w:
+        Additional dynamic power of one GPC at full Tensor-Core utilization
+        and maximum clock (Tensor work is the most power-hungry activity on
+        the chip, which is why the paper finds Tensor-intensive kernels the
+        most sensitive to power caps).
+    hbm_idle_power_w:
+        Static power of the HBM stacks and memory controllers.
+    hbm_dynamic_power_w:
+        Additional HBM power at 100 % of peak bandwidth.
+    dvfs_exponent:
+        Exponent of the dynamic-power-vs-frequency curve (``P_dyn ∝ f**e``,
+        with ``e ≈ 2.4`` approximating the combined V/f scaling).
+    """
+
+    name: str = "Simulated-A100-40GB"
+    n_gpcs: int = 8
+    mig_gpcs: int = 7
+    sms_per_gpc: int = 14
+    pipe_tflops: Mapping[Pipe, float] = field(
+        default_factory=lambda: {
+            Pipe.FP32: 19.5,
+            Pipe.FP64: 9.7,
+            Pipe.TENSOR_MIXED: 312.0,
+            Pipe.TENSOR_DOUBLE: 19.5,
+            Pipe.TENSOR_INT: 624.0,
+        }
+    )
+    dram_bandwidth_gbs: float = 1555.0
+    n_mem_slices: int = 8
+    l2_cache_mb: float = 40.0
+    hbm_capacity_gb: float = 40.0
+    max_clock_ghz: float = 1.410
+    base_clock_ghz: float = 1.095
+    min_clock_ghz: float = 0.420
+    clock_step_ghz: float = 0.015
+    default_power_limit_w: float = 250.0
+    min_power_cap_w: float = 100.0
+    max_power_cap_w: float = 300.0
+    static_power_w: float = 25.0
+    gpc_idle_power_w: float = 2.5
+    gpc_cuda_power_w: float = 16.0
+    gpc_tensor_power_w: float = 24.0
+    hbm_idle_power_w: float = 20.0
+    hbm_dynamic_power_w: float = 55.0
+    dvfs_exponent: float = 2.4
+
+    def __post_init__(self) -> None:
+        if self.n_gpcs <= 0:
+            raise SpecificationError("n_gpcs must be positive")
+        if not (0 < self.mig_gpcs <= self.n_gpcs):
+            raise SpecificationError(
+                f"mig_gpcs must be in (0, n_gpcs={self.n_gpcs}], got {self.mig_gpcs}"
+            )
+        if self.sms_per_gpc <= 0:
+            raise SpecificationError("sms_per_gpc must be positive")
+        if self.n_mem_slices <= 0:
+            raise SpecificationError("n_mem_slices must be positive")
+        if self.dram_bandwidth_gbs <= 0:
+            raise SpecificationError("dram_bandwidth_gbs must be positive")
+        if not (0 < self.min_clock_ghz <= self.base_clock_ghz <= self.max_clock_ghz):
+            raise SpecificationError(
+                "clocks must satisfy 0 < min <= base <= max, got "
+                f"{self.min_clock_ghz}/{self.base_clock_ghz}/{self.max_clock_ghz}"
+            )
+        if self.clock_step_ghz <= 0:
+            raise SpecificationError("clock_step_ghz must be positive")
+        if not (
+            0
+            < self.min_power_cap_w
+            <= self.default_power_limit_w
+            <= self.max_power_cap_w
+        ):
+            raise SpecificationError(
+                "power caps must satisfy 0 < min <= default <= max, got "
+                f"{self.min_power_cap_w}/{self.default_power_limit_w}/{self.max_power_cap_w}"
+            )
+        for value, label in (
+            (self.static_power_w, "static_power_w"),
+            (self.gpc_idle_power_w, "gpc_idle_power_w"),
+            (self.gpc_cuda_power_w, "gpc_cuda_power_w"),
+            (self.gpc_tensor_power_w, "gpc_tensor_power_w"),
+            (self.hbm_idle_power_w, "hbm_idle_power_w"),
+            (self.hbm_dynamic_power_w, "hbm_dynamic_power_w"),
+        ):
+            if value < 0:
+                raise SpecificationError(f"{label} must be non-negative, got {value}")
+        if self.dvfs_exponent < 1.0:
+            raise SpecificationError("dvfs_exponent must be >= 1")
+        missing = [p for p in Pipe if p not in self.pipe_tflops]
+        if missing:
+            raise SpecificationError(
+                f"pipe_tflops is missing entries for: {[p.value for p in missing]}"
+            )
+        for pipe, value in self.pipe_tflops.items():
+            if value <= 0:
+                raise SpecificationError(
+                    f"pipe_tflops[{pipe.value}] must be positive, got {value}"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def total_sms(self) -> int:
+        """Total SM count of the full (non-MIG) chip."""
+        return self.n_gpcs * self.sms_per_gpc
+
+    @property
+    def min_relative_frequency(self) -> float:
+        """Lowest relative frequency the DVFS governor may select."""
+        return self.min_clock_ghz / self.max_clock_ghz
+
+    @property
+    def base_relative_frequency(self) -> float:
+        """Base clock expressed as a fraction of the boost clock."""
+        return self.base_clock_ghz / self.max_clock_ghz
+
+    def pipe_throughput(self, pipe: Pipe, n_gpcs: int | None = None) -> float:
+        """Peak throughput of ``pipe`` in TFLOP/s for ``n_gpcs`` GPCs.
+
+        Compute throughput scales linearly with the number of GPCs; when
+        ``n_gpcs`` is ``None`` the full chip is assumed.
+        """
+        if n_gpcs is None:
+            n_gpcs = self.n_gpcs
+        if not (0 < n_gpcs <= self.n_gpcs):
+            raise SpecificationError(
+                f"n_gpcs must be in (0, {self.n_gpcs}], got {n_gpcs}"
+            )
+        return self.pipe_tflops[pipe] * n_gpcs / self.n_gpcs
+
+    def slice_bandwidth_gbs(self, n_slices: int) -> float:
+        """Peak DRAM bandwidth available through ``n_slices`` LLC/HBM slices."""
+        if not (0 < n_slices <= self.n_mem_slices):
+            raise SpecificationError(
+                f"n_slices must be in (0, {self.n_mem_slices}], got {n_slices}"
+            )
+        return self.dram_bandwidth_gbs * n_slices / self.n_mem_slices
+
+    def validate_power_cap(self, power_cap_w: float) -> float:
+        """Validate a power-cap request and return it unchanged.
+
+        Raises
+        ------
+        repro.errors.PowerCapError
+            If the requested cap lies outside the supported range.
+        """
+        from repro.errors import PowerCapError
+
+        if not (self.min_power_cap_w <= power_cap_w <= self.max_power_cap_w):
+            raise PowerCapError(
+                f"power cap {power_cap_w} W outside supported range "
+                f"[{self.min_power_cap_w}, {self.max_power_cap_w}] W"
+            )
+        return float(power_cap_w)
+
+    def with_overrides(self, **kwargs: object) -> "GPUSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: Default specification modelled after the paper's NVIDIA A100 40 GB PCIe.
+A100_SPEC = GPUSpec()

@@ -1,0 +1,203 @@
+"""Power/clock telemetry for simulated runs (an ``nvidia-smi dmon`` stand-in).
+
+The paper's methodology only needs end-to-end elapsed times, but a real
+deployment watches the GPU while jobs run: power draw, clock, utilization,
+and energy.  This module synthesizes that telemetry from a finished
+simulation result so that operators-facing tooling (examples, the cluster
+manager, dashboards) can be exercised end to end:
+
+* :class:`TelemetrySample` — one sampling instant (power, clock, busy GPCs).
+* :class:`TelemetryTrace` — a whole run's time series plus summary
+  statistics (average/peak power, energy, throttling residency).
+* :class:`TelemetryRecorder` — builds traces from
+  :class:`~repro.sim.results.RunResult` / :class:`~repro.sim.results.CoRunResult`.
+
+The synthesized trace has three phases — ramp-up, steady state, and
+ramp-down — which is how a long-running, steady-state GPU kernel actually
+looks in ``nvidia-smi dmon`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.gpu.spec import A100_SPEC, GPUSpec
+from repro.sim.results import CoRunResult, RunResult
+
+
+@dataclass(frozen=True)
+class TelemetrySample:
+    """One telemetry sample (what one ``dmon`` line would report)."""
+
+    timestamp_s: float
+    power_w: float
+    clock_ghz: float
+    busy_gpcs: int
+    dram_bandwidth_gbs: float
+
+    def __post_init__(self) -> None:
+        if self.timestamp_s < 0 or self.power_w < 0:
+            raise ConfigurationError("telemetry samples must be non-negative")
+
+
+@dataclass(frozen=True)
+class TelemetryTrace:
+    """A complete telemetry time series for one run."""
+
+    samples: tuple[TelemetrySample, ...]
+    power_cap_w: float
+    label: str
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ConfigurationError("a telemetry trace needs at least one sample")
+
+    # ------------------------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        """Time span covered by the trace."""
+        return self.samples[-1].timestamp_s - self.samples[0].timestamp_s
+
+    @property
+    def average_power_w(self) -> float:
+        """Mean power across all samples."""
+        return sum(s.power_w for s in self.samples) / len(self.samples)
+
+    @property
+    def peak_power_w(self) -> float:
+        """Maximum sampled power."""
+        return max(s.power_w for s in self.samples)
+
+    @property
+    def energy_joules(self) -> float:
+        """Trapezoidal energy estimate over the trace."""
+        energy = 0.0
+        for previous, current in zip(self.samples, self.samples[1:]):
+            dt = current.timestamp_s - previous.timestamp_s
+            energy += 0.5 * (previous.power_w + current.power_w) * dt
+        return energy
+
+    @property
+    def cap_violations(self) -> int:
+        """Number of samples above the configured power cap (should be 0)."""
+        return sum(1 for s in self.samples if s.power_w > self.power_cap_w + 1e-6)
+
+    def throttled_fraction(self, boost_clock_ghz: float) -> float:
+        """Fraction of samples running below the boost clock."""
+        return sum(1 for s in self.samples if s.clock_ghz < boost_clock_ghz - 1e-9) / len(
+            self.samples
+        )
+
+    def as_rows(self) -> tuple[tuple[float, float, float, int, float], ...]:
+        """The trace as plain tuples (for CSV export / table rendering)."""
+        return tuple(
+            (s.timestamp_s, s.power_w, s.clock_ghz, s.busy_gpcs, s.dram_bandwidth_gbs)
+            for s in self.samples
+        )
+
+
+class TelemetryRecorder:
+    """Synthesize telemetry traces from simulation results."""
+
+    def __init__(
+        self,
+        spec: GPUSpec = A100_SPEC,
+        sample_interval_s: float = 0.05,
+        ramp_fraction: float = 0.05,
+    ) -> None:
+        if sample_interval_s <= 0:
+            raise ConfigurationError("sample_interval_s must be positive")
+        if not (0.0 <= ramp_fraction < 0.5):
+            raise ConfigurationError("ramp_fraction must be in [0, 0.5)")
+        self._spec = spec
+        self._interval = sample_interval_s
+        self._ramp_fraction = ramp_fraction
+
+    # ------------------------------------------------------------------
+    def _trace(
+        self,
+        elapsed_s: float,
+        steady_power_w: float,
+        relative_frequency: float,
+        busy_gpcs: int,
+        bandwidth_gbs: float,
+        power_cap_w: float,
+        label: str,
+    ) -> TelemetryTrace:
+        idle_power = self._spec.static_power_w + self._spec.hbm_idle_power_w
+        n_samples = max(3, int(elapsed_s / self._interval) + 1)
+        ramp_samples = max(1, int(n_samples * self._ramp_fraction))
+        samples: list[TelemetrySample] = []
+        for index in range(n_samples):
+            timestamp = min(index * self._interval, elapsed_s)
+            if index < ramp_samples:
+                progress = (index + 1) / (ramp_samples + 1)
+            elif index >= n_samples - ramp_samples:
+                progress = (n_samples - index) / (ramp_samples + 1)
+            else:
+                progress = 1.0
+            power = idle_power + (steady_power_w - idle_power) * progress
+            clock = self._spec.max_clock_ghz * (
+                1.0 - (1.0 - relative_frequency) * progress
+            )
+            samples.append(
+                TelemetrySample(
+                    timestamp_s=timestamp,
+                    power_w=min(power, power_cap_w),
+                    clock_ghz=clock,
+                    busy_gpcs=busy_gpcs if progress > 0.5 else 0,
+                    dram_bandwidth_gbs=bandwidth_gbs * progress,
+                )
+            )
+        return TelemetryTrace(samples=tuple(samples), power_cap_w=power_cap_w, label=label)
+
+    # ------------------------------------------------------------------
+    def record_solo(self, result: RunResult) -> TelemetryTrace:
+        """Telemetry trace of one solo run."""
+        return self._trace(
+            elapsed_s=result.elapsed_s,
+            steady_power_w=result.chip_power_w,
+            relative_frequency=result.relative_frequency,
+            busy_gpcs=result.state.gpc_allocations[result.app_index],
+            bandwidth_gbs=result.achieved_bandwidth_gbs,
+            power_cap_w=result.power_cap_w,
+            label=f"{result.kernel_name}@{result.state.describe()}",
+        )
+
+    def record_corun(self, result: CoRunResult) -> TelemetryTrace:
+        """Telemetry trace of one co-run (chip-level view)."""
+        longest = max(run.elapsed_s for run in result.per_app)
+        total_bw = sum(run.achieved_bandwidth_gbs for run in result.per_app)
+        return self._trace(
+            elapsed_s=longest,
+            steady_power_w=result.chip_power_w,
+            relative_frequency=result.relative_frequency,
+            busy_gpcs=result.state.total_gpcs,
+            bandwidth_gbs=min(total_bw, self._spec.dram_bandwidth_gbs),
+            power_cap_w=result.power_cap_w,
+            label=f"corun@{result.state.describe()}",
+        )
+
+    def record_sequence(self, results: Sequence[RunResult]) -> TelemetryTrace:
+        """Concatenated trace for back-to-back solo runs (e.g. a job stream)."""
+        if not results:
+            raise ConfigurationError("at least one run is required")
+        samples: list[TelemetrySample] = []
+        offset = 0.0
+        cap = max(result.power_cap_w for result in results)
+        for result in results:
+            trace = self.record_solo(result)
+            for sample in trace.samples:
+                samples.append(
+                    TelemetrySample(
+                        timestamp_s=offset + sample.timestamp_s,
+                        power_w=sample.power_w,
+                        clock_ghz=sample.clock_ghz,
+                        busy_gpcs=sample.busy_gpcs,
+                        dram_bandwidth_gbs=sample.dram_bandwidth_gbs,
+                    )
+                )
+            offset += result.elapsed_s
+        return TelemetryTrace(samples=tuple(samples), power_cap_w=cap, label="sequence")

@@ -1,0 +1,189 @@
+"""Chip topology: GPCs, SMs, and LLC/HBM slices.
+
+MIG partitions the GPU along two axes: GPCs (compute) and LLC/HBM slices
+(memory).  This module provides a small, explicit representation of that
+layout so that the MIG manager can do ownership accounting (which GPC /
+slice belongs to which GPU Instance) and so the NVML facade can answer
+device-query style questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PartitioningError, SpecificationError
+from repro.gpu.spec import A100_SPEC, GPUSpec
+
+
+@dataclass
+class GPCUnit:
+    """One Graphics Processing Cluster on the die.
+
+    Attributes
+    ----------
+    index:
+        Physical index of the GPC (0-based).
+    n_sms:
+        Number of SMs inside the GPC.
+    enabled:
+        Whether the GPC is usable.  When MIG is enabled on an A100 one GPC
+        is disabled by the hardware; the topology reflects that.
+    owner:
+        Identifier of the GPU Instance currently owning this GPC, or
+        ``None`` if unallocated.
+    """
+
+    index: int
+    n_sms: int
+    enabled: bool = True
+    owner: int | None = None
+
+    @property
+    def free(self) -> bool:
+        """Whether the GPC is enabled and not owned by any GPU Instance."""
+        return self.enabled and self.owner is None
+
+
+@dataclass
+class MemorySlice:
+    """One LLC + HBM slice (an eighth of the memory system on an A100)."""
+
+    index: int
+    llc_mb: float
+    hbm_gb: float
+    bandwidth_gbs: float
+    owner: int | None = None
+
+    @property
+    def free(self) -> bool:
+        """Whether the slice is not owned by any GPU Instance."""
+        return self.owner is None
+
+
+@dataclass
+class ChipTopology:
+    """Mutable ownership map of the chip's GPCs and memory slices.
+
+    The topology is the single source of truth for "who owns what" while
+    MIG instances are being created and destroyed.  The MIG manager performs
+    all allocation through :meth:`claim_gpcs` / :meth:`claim_slices` and
+    releases resources through :meth:`release_owner`.
+    """
+
+    spec: GPUSpec = field(default_factory=lambda: A100_SPEC)
+    gpcs: list[GPCUnit] = field(init=False)
+    slices: list[MemorySlice] = field(init=False)
+    mig_enabled: bool = field(init=False, default=False)
+
+    def __post_init__(self) -> None:
+        self.gpcs = [
+            GPCUnit(index=i, n_sms=self.spec.sms_per_gpc)
+            for i in range(self.spec.n_gpcs)
+        ]
+        per_slice_llc = self.spec.l2_cache_mb / self.spec.n_mem_slices
+        per_slice_hbm = self.spec.hbm_capacity_gb / self.spec.n_mem_slices
+        per_slice_bw = self.spec.dram_bandwidth_gbs / self.spec.n_mem_slices
+        self.slices = [
+            MemorySlice(
+                index=i,
+                llc_mb=per_slice_llc,
+                hbm_gb=per_slice_hbm,
+                bandwidth_gbs=per_slice_bw,
+            )
+            for i in range(self.spec.n_mem_slices)
+        ]
+
+    # ------------------------------------------------------------------
+    # MIG mode handling
+    # ------------------------------------------------------------------
+    def set_mig_mode(self, enabled: bool) -> None:
+        """Enable or disable MIG mode.
+
+        Enabling MIG disables ``n_gpcs - mig_gpcs`` GPCs (one on the A100);
+        disabling MIG requires all instances to have been destroyed first.
+        """
+        if enabled == self.mig_enabled:
+            return
+        if any(g.owner is not None for g in self.gpcs) or any(
+            s.owner is not None for s in self.slices
+        ):
+            raise PartitioningError(
+                "cannot toggle MIG mode while GPU/Compute Instances exist"
+            )
+        self.mig_enabled = enabled
+        n_disabled = self.spec.n_gpcs - self.spec.mig_gpcs
+        for i, gpc in enumerate(self.gpcs):
+            gpc.enabled = not (enabled and i >= self.spec.n_gpcs - n_disabled)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def usable_gpcs(self) -> int:
+        """Number of GPCs that are enabled in the current mode."""
+        return sum(1 for g in self.gpcs if g.enabled)
+
+    @property
+    def free_gpcs(self) -> int:
+        """Number of enabled GPCs not owned by any GPU Instance."""
+        return sum(1 for g in self.gpcs if g.free)
+
+    @property
+    def free_slices(self) -> int:
+        """Number of memory slices not owned by any GPU Instance."""
+        return sum(1 for s in self.slices if s.free)
+
+    def owned_gpcs(self, owner: int) -> list[GPCUnit]:
+        """GPCs owned by GPU Instance ``owner``."""
+        return [g for g in self.gpcs if g.owner == owner]
+
+    def owned_slices(self, owner: int) -> list[MemorySlice]:
+        """Memory slices owned by GPU Instance ``owner``."""
+        return [s for s in self.slices if s.owner == owner]
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def claim_gpcs(self, owner: int, count: int) -> list[GPCUnit]:
+        """Assign ``count`` free GPCs to GPU Instance ``owner``."""
+        if count <= 0:
+            raise SpecificationError(f"GPC count must be positive, got {count}")
+        free = [g for g in self.gpcs if g.free]
+        if len(free) < count:
+            raise PartitioningError(
+                f"requested {count} GPCs but only {len(free)} are free"
+            )
+        claimed = free[:count]
+        for gpc in claimed:
+            gpc.owner = owner
+        return claimed
+
+    def claim_slices(self, owner: int, count: int) -> list[MemorySlice]:
+        """Assign ``count`` free memory slices to GPU Instance ``owner``."""
+        if count <= 0:
+            raise SpecificationError(f"slice count must be positive, got {count}")
+        free = [s for s in self.slices if s.free]
+        if len(free) < count:
+            raise PartitioningError(
+                f"requested {count} memory slices but only {len(free)} are free"
+            )
+        claimed = free[:count]
+        for mem_slice in claimed:
+            mem_slice.owner = owner
+        return claimed
+
+    def release_owner(self, owner: int) -> None:
+        """Release every GPC and memory slice owned by ``owner``."""
+        for gpc in self.gpcs:
+            if gpc.owner == owner:
+                gpc.owner = None
+        for mem_slice in self.slices:
+            if mem_slice.owner == owner:
+                mem_slice.owner = None
+
+    def reset(self) -> None:
+        """Release all resources (instances must be torn down by the caller)."""
+        for gpc in self.gpcs:
+            gpc.owner = None
+        for mem_slice in self.slices:
+            mem_slice.owner = None

@@ -1,0 +1,20 @@
+"""Profile collection and storage.
+
+The paper's workflow (Figure 7) requires one profile run per application:
+the first time an application is seen it runs exclusively on the full GPU
+and its Table 3 counters are recorded.  Afterwards those counters — the
+application's *features* — feed the performance model, and the application
+becomes eligible for co-scheduling.
+
+* :mod:`repro.profiling.records` — the profile record structure.
+* :mod:`repro.profiling.profiler` — collecting profiles with the simulator
+  (stand-in for Nsight Compute).
+* :mod:`repro.profiling.database` — a small JSON-backed profile store, the
+  "Database" box of Figure 1.
+"""
+
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.profiler import ProfileCollector
+from repro.profiling.records import ProfileRecord
+
+__all__ = ["ProfileRecord", "ProfileCollector", "ProfileDatabase"]

@@ -1,0 +1,59 @@
+"""Execution simulator for the MIG-partitioned, power-capped GPU.
+
+This package provides the "measured" side of the reproduction: given a
+kernel model, a partition state, and a chip power cap it produces elapsed
+times, relative performance, achieved bandwidth, clock throttling, and
+profiler counters — the quantities the paper measures on a real A100.
+
+Modules
+-------
+:mod:`repro.sim.roofline`
+    Composition of the per-kernel time components (compute / memory /
+    serial) for a given allocation and clock.
+:mod:`repro.sim.interference`
+    LLC and HBM-bandwidth contention between Compute Instances sharing a
+    GPU Instance (the *shared* option); the *private* option is interference
+    free by construction, as on the real hardware.
+:mod:`repro.sim.noise`
+    Deterministic measurement noise so that "measured" values differ from
+    model predictions the way real runs do.
+:mod:`repro.sim.counters`
+    The simulated Nsight-Compute profiler producing the Table 3 counters.
+:mod:`repro.sim.engine`
+    :class:`~repro.sim.engine.PerformanceSimulator` — solo runs, co-runs,
+    reference runs, and profiling.
+:mod:`repro.sim.sweep`
+    Convenience sweeps (scalability curves, co-run grids) used by the
+    observation figures and by model training.
+"""
+
+from repro.sim.counters import CounterVector, collect_counters
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.interference import InterferenceModel, InterferenceParams
+from repro.sim.noise import NoiseModel
+from repro.sim.results import CoRunResult, RunResult
+from repro.sim.roofline import TimeComponents, bound_of, elapsed_time
+from repro.sim.sweep import (
+    ScalabilityPoint,
+    corun_sweep,
+    scalability_power_sweep,
+    scalability_sweep,
+)
+
+__all__ = [
+    "PerformanceSimulator",
+    "CounterVector",
+    "collect_counters",
+    "InterferenceModel",
+    "InterferenceParams",
+    "NoiseModel",
+    "RunResult",
+    "CoRunResult",
+    "TimeComponents",
+    "elapsed_time",
+    "bound_of",
+    "ScalabilityPoint",
+    "scalability_sweep",
+    "scalability_power_sweep",
+    "corun_sweep",
+]

@@ -1,0 +1,418 @@
+"""The execution engine: solo runs, co-runs, reference runs, profiling.
+
+:class:`PerformanceSimulator` combines the other pieces of the substrate:
+
+* the **roofline** composition scales a kernel's time components to its
+  allocation (GPCs, memory slices) and to the current clock;
+* the **interference model** adds LLC pollution and HBM-bandwidth contention
+  between Compute Instances that share a GPU Instance (shared option);
+* the **power model** plays the role of the driver's power-cap governor and
+  throttles the chip clock until the modelled power fits under the cap;
+* the **noise model** perturbs the final elapsed time the way real
+  measurements wobble.
+
+The simulator self-consistently resolves the circular dependencies between
+these pieces (bandwidth shares depend on elapsed times, elapsed times depend
+on the clock, the clock depends on utilizations, utilizations depend on
+elapsed times) with a small fixed-point iteration nested inside the
+governor's bisection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.gpu.mig import MemoryOption, PartitionState, solo_state
+from repro.gpu.power import InstanceLoad, PowerModel
+from repro.gpu.spec import A100_SPEC, GPUSpec
+from repro.sim.counters import CounterVector, collect_counters
+from repro.sim.interference import InterferenceModel
+from repro.sim.noise import NoiseModel
+from repro.sim.results import CoRunResult, RunResult
+from repro.sim.roofline import TimeComponents, bound_of, elapsed_time
+from repro.workloads.kernel import KernelCharacteristics
+
+#: Iterations of the bandwidth-contention fixed point (damped; converges in
+#: a handful of steps for two applications).
+_BANDWIDTH_ITERATIONS = 40
+
+#: Damping factor of the fixed point (new = d*new + (1-d)*old).
+_DAMPING = 0.6
+
+
+@dataclass
+class _Placement:
+    """Internal description of one application's placement on the chip."""
+
+    kernel: KernelCharacteristics
+    gpcs: int
+    #: Peak DRAM bandwidth reachable by this application, as a fraction of
+    #: the full-chip bandwidth (its private slices, or its pool's capacity).
+    bandwidth_capacity: float
+    #: Whether this application draws from a shared bandwidth pool.
+    shared_pool: bool
+    #: Interference penalties (>= 1); 1.0 for private/solo placements.
+    compute_penalty: float = 1.0
+    memory_penalty: float = 1.0
+
+
+@dataclass
+class _SolvedPlacement:
+    """Converged execution state of one placement at a fixed clock."""
+
+    components: TimeComponents
+    elapsed_s: float
+    dram_bw_fraction: float
+
+
+class PerformanceSimulator:
+    """Analytic executor for kernels on the simulated MIG/power-capped GPU.
+
+    Parameters
+    ----------
+    spec:
+        Hardware specification of the simulated GPU.
+    interference:
+        Interference model for the shared memory option (defaults to the
+        calibrated :class:`~repro.sim.interference.InterferenceModel`).
+    noise:
+        Measurement-noise model; pass ``NoiseModel(sigma=0.0)`` (or
+        :func:`repro.sim.noise.no_noise`) for exact, repeatable numbers.
+    power_model:
+        Chip power model / power-cap governor.
+    """
+
+    def __init__(
+        self,
+        spec: GPUSpec = A100_SPEC,
+        interference: InterferenceModel | None = None,
+        noise: NoiseModel | None = None,
+        power_model: PowerModel | None = None,
+    ) -> None:
+        self._spec = spec
+        self._interference = (
+            interference if interference is not None else InterferenceModel(spec=spec)
+        )
+        self._noise = noise if noise is not None else NoiseModel()
+        self._power = power_model if power_model is not None else PowerModel(spec)
+        self._reference_cache: dict[tuple, float] = {}
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> GPUSpec:
+        """The hardware specification in use."""
+        return self._spec
+
+    @property
+    def interference(self) -> InterferenceModel:
+        """The interference model in use."""
+        return self._interference
+
+    @property
+    def noise(self) -> NoiseModel:
+        """The measurement-noise model in use."""
+        return self._noise
+
+    @property
+    def power_model(self) -> PowerModel:
+        """The power model / governor in use."""
+        return self._power
+
+    # ------------------------------------------------------------------
+    # Profiling and reference runs
+    # ------------------------------------------------------------------
+    def profile(self, kernel: KernelCharacteristics) -> CounterVector:
+        """Collect the Table 3 counters of a solo, full-GPU profile run."""
+        return collect_counters(kernel, self._spec)
+
+    def reference_time(self, kernel: KernelCharacteristics) -> float:
+        """Elapsed time of the exclusive solo run used for normalization.
+
+        The paper normalizes every relative performance to a solo run on the
+        full GPU (MIG disabled) at the default power limit.  The value is
+        noise free: it is the fixed denominator of every ``RPerf``.
+        """
+        key = (
+            kernel.name,
+            kernel.compute_time_full_s,
+            kernel.memory_time_full_s,
+            kernel.serial_time_s,
+        )
+        cached = self._reference_cache.get(key)
+        if cached is not None:
+            return cached
+        placement = _Placement(
+            kernel=kernel,
+            gpcs=self._spec.n_gpcs,
+            bandwidth_capacity=1.0,
+            shared_pool=False,
+        )
+        solved, _, _ = self._solve(
+            [placement],
+            power_cap_w=self._spec.default_power_limit_w,
+            powered_gpcs=self._spec.n_gpcs,
+        )
+        reference = solved[0].elapsed_s
+        self._reference_cache[key] = reference
+        return reference
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+    def solo_run(
+        self,
+        kernel: KernelCharacteristics,
+        state: PartitionState | None = None,
+        power_cap_w: float | None = None,
+    ) -> RunResult:
+        """Execute ``kernel`` alone on a (possibly partitioned) GPU.
+
+        ``state`` must describe a single application; it defaults to the full
+        MIG partition (7 GPCs, private).  ``power_cap_w`` defaults to the
+        device's factory limit.
+        """
+        if state is None:
+            state = solo_state(self._spec.mig_gpcs, MemoryOption.PRIVATE)
+        if state.n_apps != 1:
+            raise SimulationError(
+                f"solo_run needs a single-application state, got {state.describe()}"
+            )
+        result = self._run(state, (kernel,), power_cap_w)
+        return result.per_app[0]
+
+    def co_run(
+        self,
+        kernels: Sequence[KernelCharacteristics],
+        state: PartitionState,
+        power_cap_w: float | None = None,
+    ) -> CoRunResult:
+        """Co-execute ``kernels`` under partition state ``state``."""
+        if state.n_apps != len(kernels):
+            raise SimulationError(
+                f"state {state.describe()} describes {state.n_apps} applications "
+                f"but {len(kernels)} kernels were supplied"
+            )
+        return self._run(state, tuple(kernels), power_cap_w)
+
+    # ------------------------------------------------------------------
+    # Internal machinery
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        state: PartitionState,
+        kernels: tuple[KernelCharacteristics, ...],
+        power_cap_w: float | None,
+    ) -> CoRunResult:
+        cap = (
+            self._spec.default_power_limit_w
+            if power_cap_w is None
+            else self._spec.validate_power_cap(power_cap_w)
+        )
+        state.validate_against(self._spec)
+        placements = self._build_placements(state, kernels)
+        powered_gpcs = self._spec.mig_gpcs
+        solved, frequency, chip_power = self._solve(placements, cap, powered_gpcs)
+
+        per_app: list[RunResult] = []
+        for index, (kernel, placement, solution) in enumerate(
+            zip(kernels, placements, solved)
+        ):
+            reference = self.reference_time(kernel)
+            noise_key = (
+                kernel.name,
+                state.key(),
+                index,
+                round(cap, 3),
+            )
+            measured = self._noise.apply(solution.elapsed_s, noise_key)
+            per_app.append(
+                RunResult(
+                    kernel_name=kernel.name,
+                    state=state,
+                    app_index=index,
+                    power_cap_w=cap,
+                    elapsed_s=measured,
+                    noiseless_elapsed_s=solution.elapsed_s,
+                    reference_s=reference,
+                    relative_performance=reference / measured,
+                    relative_frequency=frequency,
+                    compute_time_s=solution.components.compute_s,
+                    memory_time_s=solution.components.memory_s,
+                    serial_time_s=solution.components.serial_s,
+                    achieved_bandwidth_gbs=solution.dram_bw_fraction
+                    * self._spec.dram_bandwidth_gbs,
+                    chip_power_w=chip_power,
+                    bound=bound_of(solution.components),
+                )
+            )
+        return CoRunResult(
+            state=state,
+            power_cap_w=cap,
+            per_app=tuple(per_app),
+            chip_power_w=chip_power,
+            relative_frequency=frequency,
+        )
+
+    def _build_placements(
+        self,
+        state: PartitionState,
+        kernels: tuple[KernelCharacteristics, ...],
+    ) -> list[_Placement]:
+        placements: list[_Placement] = []
+        shared = state.option is MemoryOption.SHARED
+        for index, kernel in enumerate(kernels):
+            allocation = state.allocation_for(index)
+            bandwidth_capacity = allocation.mem_slices / self._spec.n_mem_slices
+            others = [k for j, k in enumerate(kernels) if j != index]
+            if shared and others:
+                compute_penalty = self._interference.compute_penalty(kernel, others)
+                memory_penalty = self._interference.memory_penalty(kernel, others)
+            else:
+                compute_penalty = 1.0
+                memory_penalty = 1.0
+            placements.append(
+                _Placement(
+                    kernel=kernel,
+                    gpcs=allocation.gpcs,
+                    bandwidth_capacity=bandwidth_capacity,
+                    shared_pool=shared,
+                    compute_penalty=compute_penalty,
+                    memory_penalty=memory_penalty,
+                )
+            )
+        return placements
+
+    # ------------------------------------------------------------------
+    def _solve(
+        self,
+        placements: Sequence[_Placement],
+        power_cap_w: float,
+        powered_gpcs: int,
+    ) -> tuple[list[_SolvedPlacement], float, float]:
+        """Resolve clock, bandwidth shares, and elapsed times under the cap."""
+
+        def loads_at(frequency: float) -> list[InstanceLoad]:
+            solved = self._solve_at_frequency(placements, frequency)
+            return self._loads_from_solution(placements, solved)
+
+        frequency = self._power.max_frequency_under_cap(
+            loads_at, power_cap_w, powered_gpcs=powered_gpcs
+        )
+        solved = self._solve_at_frequency(placements, frequency)
+        loads = self._loads_from_solution(placements, solved)
+        chip_power = self._power.total_power(loads, frequency, powered_gpcs)
+        return solved, frequency, chip_power
+
+    def _solve_at_frequency(
+        self,
+        placements: Sequence[_Placement],
+        frequency: float,
+    ) -> list[_SolvedPlacement]:
+        """Fixed point of the bandwidth-contention problem at a given clock."""
+        spec = self._spec
+        n = len(placements)
+        compute_times = [
+            p.kernel.compute_time_full_s
+            * (spec.n_gpcs / p.gpcs)
+            / frequency
+            * p.compute_penalty
+            for p in placements
+        ]
+        # Memory time at full-chip bandwidth, including the pollution penalty.
+        memory_full = [
+            p.kernel.memory_time_full_s * p.memory_penalty for p in placements
+        ]
+        serial_times = [p.kernel.serial_time_s for p in placements]
+
+        # Initial guess: everyone sees their full capacity.
+        memory_times = [
+            (memory_full[i] / placements[i].bandwidth_capacity if memory_full[i] > 0 else 0.0)
+            for i in range(n)
+        ]
+        elapsed = [
+            max(compute_times[i], memory_times[i]) + serial_times[i] for i in range(n)
+        ]
+
+        shared_indices = [i for i in range(n) if placements[i].shared_pool]
+        if len(shared_indices) > 1:
+            pool_capacity = max(
+                placements[i].bandwidth_capacity for i in shared_indices
+            )
+            for _ in range(_BANDWIDTH_ITERATIONS):
+                demands = {
+                    i: (memory_full[i] / elapsed[i] if elapsed[i] > 0 else 0.0)
+                    for i in shared_indices
+                }
+                total_demand = sum(demands.values())
+                new_elapsed = list(elapsed)
+                for i in shared_indices:
+                    if memory_full[i] <= 0:
+                        continue
+                    others_demand = total_demand - demands[i]
+                    if total_demand > 0:
+                        proportional = pool_capacity * demands[i] / total_demand
+                    else:
+                        proportional = pool_capacity
+                    available = max(pool_capacity - others_demand, proportional)
+                    available = min(available, placements[i].bandwidth_capacity)
+                    available = max(available, 1e-6)
+                    memory_times[i] = memory_full[i] / available
+                    new_elapsed[i] = (
+                        max(compute_times[i], memory_times[i]) + serial_times[i]
+                    )
+                converged = True
+                for i in shared_indices:
+                    blended = _DAMPING * new_elapsed[i] + (1.0 - _DAMPING) * elapsed[i]
+                    if abs(blended - elapsed[i]) > 1e-9 * max(elapsed[i], 1e-9):
+                        converged = False
+                    elapsed[i] = blended
+                if converged:
+                    break
+            # Recompute elapsed exactly from the final memory times.
+            for i in shared_indices:
+                elapsed[i] = max(compute_times[i], memory_times[i]) + serial_times[i]
+
+        solved: list[_SolvedPlacement] = []
+        for i in range(n):
+            components = TimeComponents(
+                compute_s=compute_times[i],
+                memory_s=memory_times[i],
+                serial_s=serial_times[i],
+            )
+            total = elapsed_time(components)
+            dram_bw_fraction = memory_full[i] / total if total > 0 else 0.0
+            solved.append(
+                _SolvedPlacement(
+                    components=components,
+                    elapsed_s=total,
+                    dram_bw_fraction=min(1.0, dram_bw_fraction),
+                )
+            )
+        return solved
+
+    def _loads_from_solution(
+        self,
+        placements: Sequence[_Placement],
+        solved: Sequence[_SolvedPlacement],
+    ) -> list[InstanceLoad]:
+        loads: list[InstanceLoad] = []
+        for placement, solution in zip(placements, solved):
+            if solution.elapsed_s <= 0:
+                busy_fraction = 0.0
+            else:
+                busy_fraction = min(
+                    1.0, solution.components.compute_s / solution.elapsed_s
+                )
+            loads.append(
+                InstanceLoad(
+                    n_gpcs=placement.gpcs,
+                    cuda_utilization=busy_fraction * placement.kernel.cuda_fraction,
+                    tensor_utilization=busy_fraction * placement.kernel.tensor_fraction,
+                    dram_bw_fraction=solution.dram_bw_fraction,
+                )
+            )
+        return loads

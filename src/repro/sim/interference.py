@@ -1,0 +1,175 @@
+"""Interference between Compute Instances that share a GPU Instance.
+
+MIG isolates memory resources *between* GPU Instances but not between the
+Compute Instances *inside* one GI.  The paper's shared option therefore
+trades isolation for bandwidth: a memory-hungry application can use the
+whole chip's HBM bandwidth, but both applications now contend for the LLC
+and for that bandwidth.
+
+Two effects are modelled:
+
+* **LLC pollution** — a co-runner with a large working set evicts the
+  application's cache lines.  This both increases DRAM traffic (memory-time
+  penalty) and adds latency stalls to the compute pipes (compute-time
+  penalty).  How strongly an application suffers is its
+  ``l2_sensitivity``; how much pressure a co-runner exerts grows with its
+  working-set size relative to the LLC capacity and with its bandwidth
+  appetite.
+* **Bandwidth contention** — when the combined DRAM demand exceeds the
+  available bandwidth, each application receives a share proportional to its
+  demand (a reasonable approximation of HBM arbitration under saturation).
+
+Under the private option both effects are zero by construction, mirroring
+the hardware guarantee the paper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.gpu.spec import A100_SPEC, GPUSpec
+from repro.workloads.kernel import KernelCharacteristics
+
+
+@dataclass(frozen=True)
+class InterferenceParams:
+    """Tunable strengths of the two interference mechanisms.
+
+    Attributes
+    ----------
+    compute_l2_alpha:
+        Maximum fractional compute-time inflation caused by a fully
+        polluting co-runner on a fully sensitive application.
+    memory_l2_alpha:
+        Maximum fractional memory-time inflation from the same cause.
+    bandwidth_pressure_weight:
+        How much a co-runner's *bandwidth* appetite (as opposed to its
+        working-set size) contributes to the cache pressure it exerts.
+    """
+
+    compute_l2_alpha: float = 0.45
+    memory_l2_alpha: float = 0.35
+    bandwidth_pressure_weight: float = 0.35
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("compute_l2_alpha", self.compute_l2_alpha),
+            ("memory_l2_alpha", self.memory_l2_alpha),
+            ("bandwidth_pressure_weight", self.bandwidth_pressure_weight),
+        ):
+            if not (0.0 <= value <= 2.0):
+                raise ConfigurationError(f"{label} must be in [0, 2], got {value}")
+
+
+class InterferenceModel:
+    """LLC/HBM contention model for Compute Instances sharing a GPU Instance."""
+
+    def __init__(
+        self,
+        params: InterferenceParams | None = None,
+        spec: GPUSpec = A100_SPEC,
+    ) -> None:
+        self._params = params if params is not None else InterferenceParams()
+        self._spec = spec
+
+    @property
+    def params(self) -> InterferenceParams:
+        """The interference strengths in use."""
+        return self._params
+
+    @property
+    def spec(self) -> GPUSpec:
+        """The hardware specification in use."""
+        return self._spec
+
+    # ------------------------------------------------------------------
+    # Cache pressure / penalties
+    # ------------------------------------------------------------------
+    def cache_pressure(self, co_runner: KernelCharacteristics) -> float:
+        """How much LLC pressure ``co_runner`` exerts, in ``[0, 1]``.
+
+        Pressure grows with the co-runner's working set relative to the LLC
+        capacity and, to a lesser extent, with its DRAM-bandwidth appetite
+        (streaming kernels keep refilling the cache even if a single pass
+        fits).
+        """
+        footprint = min(1.0, co_runner.working_set_mb / self._spec.l2_cache_mb)
+        bandwidth_appetite = min(
+            1.0,
+            co_runner.memory_time_full_s / max(co_runner.reference_time_s, 1e-12),
+        )
+        weight = self._params.bandwidth_pressure_weight
+        return min(1.0, footprint * (1.0 - weight) + bandwidth_appetite * weight)
+
+    def compute_penalty(
+        self,
+        kernel: KernelCharacteristics,
+        co_runners: Sequence[KernelCharacteristics],
+    ) -> float:
+        """Multiplier (>= 1) on the compute time caused by LLC pollution."""
+        if not co_runners:
+            return 1.0
+        pressure = max(self.cache_pressure(other) for other in co_runners)
+        return 1.0 + self._params.compute_l2_alpha * kernel.l2_sensitivity * pressure
+
+    def memory_penalty(
+        self,
+        kernel: KernelCharacteristics,
+        co_runners: Sequence[KernelCharacteristics],
+    ) -> float:
+        """Multiplier (>= 1) on the memory time caused by LLC pollution."""
+        if not co_runners:
+            return 1.0
+        pressure = max(self.cache_pressure(other) for other in co_runners)
+        return 1.0 + self._params.memory_l2_alpha * kernel.l2_sensitivity * pressure
+
+    # ------------------------------------------------------------------
+    # Bandwidth arbitration
+    # ------------------------------------------------------------------
+    def share_bandwidth(
+        self,
+        demands_gbs: Sequence[float],
+        capacity_gbs: float,
+    ) -> tuple[float, ...]:
+        """Bandwidth granted to each application under contention.
+
+        When the summed demand fits within ``capacity_gbs`` every application
+        receives exactly what it asks for; otherwise the capacity is split in
+        proportion to demand.
+        """
+        if capacity_gbs <= 0:
+            raise SimulationError(f"capacity must be positive, got {capacity_gbs}")
+        demands = [max(0.0, float(d)) for d in demands_gbs]
+        total = sum(demands)
+        if total <= capacity_gbs or total <= 0.0:
+            return tuple(demands)
+        scale = capacity_gbs / total
+        return tuple(d * scale for d in demands)
+
+
+class NoInterference(InterferenceModel):
+    """An interference model with every effect disabled.
+
+    Used by the ablation benchmarks to quantify how much of the shared-option
+    behaviour (and of the model's interference term) comes from contention.
+    """
+
+    def __init__(self, spec: GPUSpec = A100_SPEC) -> None:
+        super().__init__(
+            InterferenceParams(
+                compute_l2_alpha=0.0,
+                memory_l2_alpha=0.0,
+                bandwidth_pressure_weight=0.0,
+            ),
+            spec,
+        )
+
+    def share_bandwidth(
+        self,
+        demands_gbs: Sequence[float],
+        capacity_gbs: float,
+    ) -> tuple[float, ...]:
+        """Still arbitrate bandwidth (physics), but exert no cache pressure."""
+        return super().share_bandwidth(demands_gbs, capacity_gbs)

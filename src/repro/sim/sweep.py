@@ -1,0 +1,132 @@
+"""Parameter sweeps over the simulator.
+
+These helpers produce the raw data behind the paper's observation figures
+(Figures 4–6) and the training measurements for the regression model:
+
+* :func:`scalability_sweep` — solo relative performance vs. GPC count for
+  both memory options at a fixed power cap (Figure 4).
+* :func:`scalability_power_sweep` — solo relative performance vs. GPC count
+  for several power caps at a fixed memory option (Figure 5).
+* :func:`corun_sweep` — co-run results over partition states and power caps
+  (Figure 6 and the training/evaluation grids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.config import DEFAULT_POWER_CAPS, SCALABILITY_GPC_COUNTS
+from repro.gpu.mig import CORUN_STATES, MemoryOption, PartitionState, solo_state
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.results import CoRunResult
+from repro.workloads.kernel import KernelCharacteristics
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    """One point of a solo scalability curve."""
+
+    kernel_name: str
+    gpcs: int
+    option: MemoryOption
+    power_cap_w: float
+    relative_performance: float
+    relative_frequency: float
+    bound: str
+
+
+def scalability_sweep(
+    simulator: PerformanceSimulator,
+    kernel: KernelCharacteristics,
+    gpc_counts: Sequence[int] = SCALABILITY_GPC_COUNTS,
+    options: Sequence[MemoryOption] = (MemoryOption.PRIVATE, MemoryOption.SHARED),
+    power_cap_w: float = 250.0,
+) -> tuple[ScalabilityPoint, ...]:
+    """Solo relative performance of ``kernel`` vs. GPC count, per memory option."""
+    points: list[ScalabilityPoint] = []
+    for option in options:
+        for gpcs in gpc_counts:
+            run = simulator.solo_run(kernel, solo_state(gpcs, option), power_cap_w)
+            points.append(
+                ScalabilityPoint(
+                    kernel_name=kernel.name,
+                    gpcs=gpcs,
+                    option=MemoryOption(option),
+                    power_cap_w=power_cap_w,
+                    relative_performance=run.relative_performance,
+                    relative_frequency=run.relative_frequency,
+                    bound=run.bound,
+                )
+            )
+    return tuple(points)
+
+
+def scalability_power_sweep(
+    simulator: PerformanceSimulator,
+    kernel: KernelCharacteristics,
+    gpc_counts: Sequence[int] = SCALABILITY_GPC_COUNTS,
+    power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
+    option: MemoryOption = MemoryOption.SHARED,
+) -> tuple[ScalabilityPoint, ...]:
+    """Solo relative performance vs. GPC count for several power caps."""
+    points: list[ScalabilityPoint] = []
+    for power_cap_w in power_caps:
+        for gpcs in gpc_counts:
+            run = simulator.solo_run(kernel, solo_state(gpcs, option), power_cap_w)
+            points.append(
+                ScalabilityPoint(
+                    kernel_name=kernel.name,
+                    gpcs=gpcs,
+                    option=MemoryOption(option),
+                    power_cap_w=power_cap_w,
+                    relative_performance=run.relative_performance,
+                    relative_frequency=run.relative_frequency,
+                    bound=run.bound,
+                )
+            )
+    return tuple(points)
+
+
+def corun_sweep(
+    simulator: PerformanceSimulator,
+    kernels: Sequence[KernelCharacteristics],
+    states: Sequence[PartitionState] = CORUN_STATES,
+    power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
+) -> dict[tuple[tuple, float], CoRunResult]:
+    """Co-run ``kernels`` across all combinations of state and power cap.
+
+    Returns a mapping keyed by ``(state.key(), power_cap_w)``.
+    """
+    results: dict[tuple[tuple, float], CoRunResult] = {}
+    for state in states:
+        for power_cap_w in power_caps:
+            results[(state.key(), float(power_cap_w))] = simulator.co_run(
+                kernels, state, power_cap_w
+            )
+    return results
+
+
+def group_points_by_option(
+    points: Sequence[ScalabilityPoint],
+) -> Mapping[MemoryOption, tuple[ScalabilityPoint, ...]]:
+    """Group scalability points by memory option (curve per option)."""
+    grouped: dict[MemoryOption, list[ScalabilityPoint]] = {}
+    for point in points:
+        grouped.setdefault(point.option, []).append(point)
+    return {
+        option: tuple(sorted(pts, key=lambda p: (p.power_cap_w, p.gpcs)))
+        for option, pts in grouped.items()
+    }
+
+
+def group_points_by_power(
+    points: Sequence[ScalabilityPoint],
+) -> Mapping[float, tuple[ScalabilityPoint, ...]]:
+    """Group scalability points by power cap (curve per cap)."""
+    grouped: dict[float, list[ScalabilityPoint]] = {}
+    for point in points:
+        grouped.setdefault(point.power_cap_w, []).append(point)
+    return {
+        cap: tuple(sorted(pts, key=lambda p: p.gpcs)) for cap, pts in grouped.items()
+    }

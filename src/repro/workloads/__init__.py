@@ -1,0 +1,58 @@
+"""Workload models for the simulated evaluation.
+
+The paper evaluates Rodinia kernels, CUTLASS GEMM variants (Table 6),
+``stream`` and ``randomaccess``, classified into four categories (Table 7):
+
+* **TI** — Tensor-Core intensive,
+* **CI** — (non-Tensor) compute intensive,
+* **MI** — memory intensive,
+* **US** — un-scalable.
+
+In this reproduction every benchmark is an *analytic kernel model*
+(:class:`~repro.workloads.kernel.KernelCharacteristics`) whose parameters
+are chosen so that each kernel behaves like its class: scalability with
+GPCs, sensitivity to memory slices vs. shared bandwidth, sensitivity to
+power caps, L2 reuse, and Tensor-pipe usage.
+"""
+
+from repro.workloads.kernel import KernelCharacteristics, WorkloadClass
+from repro.workloads.gemm import GEMM_VARIANTS, GemmShape, gemm_kernel
+from repro.workloads.micro import micro_kernels
+from repro.workloads.rodinia import rodinia_kernels
+from repro.workloads.suite import (
+    BenchmarkSuite,
+    DEFAULT_SUITE,
+    all_kernel_names,
+    get_kernel,
+)
+from repro.workloads.classification import (
+    EXPECTED_CLASSIFICATION,
+    ClassificationReport,
+    classify_from_measurements,
+    classify_kernel,
+)
+from repro.workloads.pairs import CORUN_PAIRS, CoRunPair, corun_pair, corun_pair_names
+from repro.workloads.synthetic import SyntheticWorkloadGenerator
+
+__all__ = [
+    "KernelCharacteristics",
+    "WorkloadClass",
+    "GEMM_VARIANTS",
+    "GemmShape",
+    "gemm_kernel",
+    "micro_kernels",
+    "rodinia_kernels",
+    "BenchmarkSuite",
+    "DEFAULT_SUITE",
+    "get_kernel",
+    "all_kernel_names",
+    "classify_kernel",
+    "classify_from_measurements",
+    "ClassificationReport",
+    "EXPECTED_CLASSIFICATION",
+    "CORUN_PAIRS",
+    "CoRunPair",
+    "corun_pair",
+    "corun_pair_names",
+    "SyntheticWorkloadGenerator",
+]

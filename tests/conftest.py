@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite.
+
+Expensive objects (the trained evaluation context) are session-scoped so the
+whole suite pays for offline training exactly once.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the package importable even without an installed distribution (the
+# environment has no network for `pip install -e .`; a .pth file normally
+# handles this, but keep the fallback local to the repository).
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.context import EvaluationContext  # noqa: E402
+from repro.gpu.spec import A100_SPEC  # noqa: E402
+from repro.sim.engine import PerformanceSimulator  # noqa: E402
+from repro.sim.noise import NoiseModel, no_noise  # noqa: E402
+from repro.workloads.suite import DEFAULT_SUITE  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def spec():
+    """The default A100-like hardware specification."""
+    return A100_SPEC
+
+
+@pytest.fixture(scope="session")
+def suite():
+    """The full benchmark suite (Tables 6 and 7)."""
+    return DEFAULT_SUITE
+
+
+@pytest.fixture()
+def sim():
+    """A noise-free simulator (exact, repeatable numbers)."""
+    return PerformanceSimulator(noise=no_noise())
+
+
+@pytest.fixture()
+def noisy_sim():
+    """A simulator with the default measurement noise."""
+    return PerformanceSimulator(noise=NoiseModel(sigma=0.03))
+
+
+@pytest.fixture(scope="session")
+def context():
+    """A fully trained evaluation context (shared across the whole session)."""
+    return EvaluationContext.create()
+
+
+@pytest.fixture(scope="session")
+def trained_model(context):
+    """The trained linear performance model."""
+    return context.model

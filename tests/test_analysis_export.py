@@ -1,0 +1,84 @@
+"""Tests for the CSV/JSON export of evaluation data."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    ExportedTable,
+    accuracy_table,
+    comparison_table,
+    corun_throughput_table,
+    export_evaluation_bundle,
+    scalability_table,
+)
+from repro.analysis.figures import (
+    figure4_scalability_partitioning,
+    figure6_corun_throughput,
+    figure8_model_accuracy,
+    figure9_problem1,
+)
+from repro.errors import ConfigurationError
+
+
+class TestExportedTable:
+    def test_row_width_validation(self):
+        with pytest.raises(ConfigurationError):
+            ExportedTable(name="x", columns=("a", "b"), rows=((1,),))
+
+    def test_to_records(self):
+        table = ExportedTable(name="x", columns=("a", "b"), rows=((1, 2), (3, 4)))
+        assert table.to_records() == [{"a": 1, "b": 2}, {"a": 3, "b": 4}]
+
+    def test_to_csv_roundtrip(self, tmp_path):
+        table = ExportedTable(name="x", columns=("a", "b"), rows=((1, 2),))
+        path = table.to_csv(tmp_path / "x.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"]]
+
+
+class TestFlattening:
+    def test_scalability_table_shape(self, context):
+        table = scalability_table(figure4_scalability_partitioning(context), "figure4")
+        # 4 kernels x 2 options x 5 GPC counts.
+        assert len(table.rows) == 4 * 2 * 5
+        assert table.columns[0] == "kernel"
+
+    def test_corun_throughput_table_shape(self, context):
+        table = corun_throughput_table(figure6_corun_throughput(context))
+        assert len(table.rows) == 3 * 4
+
+    def test_accuracy_table_shape(self, context):
+        table = accuracy_table(figure8_model_accuracy(context))
+        assert len(table.rows) == 18 * 4
+        assert "estimated_throughput" in table.columns
+
+    def test_comparison_table_shape(self, context):
+        table = comparison_table(figure9_problem1(context).comparison, "figure9")
+        assert len(table.rows) == 18
+        record = table.to_records()[0]
+        assert set(record) == set(table.columns)
+        assert record["worst"] <= record["best"]
+
+
+class TestBundleExport:
+    def test_bundle_writes_csvs_and_manifest(self, context, tmp_path):
+        written = export_evaluation_bundle(context, tmp_path / "bundle", figures=(6, 9))
+        assert set(written) == {"figure6", "figure9", "manifest"}
+        for path in written.values():
+            assert path.exists()
+        manifest = json.loads(written["manifest"].read_text())
+        assert manifest["device"] == context.simulator.spec.name
+        assert manifest["model_error"]["n_samples"] == 18 * 4 * 6
+        assert set(manifest["artifacts"]) == {"figure6", "figure9"}
+
+    def test_bundle_csv_contents_parse(self, context, tmp_path):
+        written = export_evaluation_bundle(context, tmp_path / "bundle", figures=(9,))
+        with written["figure9"].open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 18
+        assert all(float(row["proposal"]) >= float(row["worst"]) - 1e-9 for row in rows)

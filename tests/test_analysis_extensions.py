@@ -1,0 +1,76 @@
+"""Tests for the future-work extensions (flexible partitioning, validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.extensions import (
+    flexible_partitioning_study,
+    held_out_pair_validation,
+    leave_one_out_validation,
+)
+from repro.gpu.mig import enumerate_corun_states
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.noise import no_noise
+from repro.workloads.pairs import CORUN_PAIRS, corun_pair
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+class TestFlexiblePartitioning:
+    @pytest.fixture(scope="class")
+    def study(self):
+        pairs = [corun_pair(n) for n in ("TI-MI2", "CI-US1", "MI-MI2", "TI-US1", "CI-CI1")]
+        return flexible_partitioning_study(
+            simulator=PerformanceSimulator(noise=no_noise()),
+            pairs=pairs,
+        )
+
+    def test_state_space_is_larger_than_the_papers(self, study):
+        assert study.n_states == len(enumerate_corun_states())
+        assert study.n_states > 4
+
+    def test_flexible_best_never_below_paper_best(self, study):
+        for row in study.rows:
+            assert row.best_flexible_states >= row.best_paper_states - 1e-9
+        assert study.mean_flexibility_gain >= 1.0
+
+    def test_allocator_captures_most_of_the_flexible_optimum(self, study):
+        assert study.mean_proposal_vs_best > 0.85
+        for row in study.rows:
+            assert row.proposal_vs_best > 0.75
+
+    def test_rows_cover_requested_pairs(self, study):
+        assert {row.pair for row in study.rows} == {
+            "TI-MI2", "CI-US1", "MI-MI2", "TI-US1", "CI-CI1"
+        }
+
+
+class TestLeaveOneOutValidation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return leave_one_out_validation(
+            simulator=PerformanceSimulator(noise=no_noise()),
+            power_caps=(250.0,),
+        )
+
+    def test_every_benchmark_is_evaluated(self, result):
+        assert set(result.per_benchmark_error_pct) == set(DEFAULT_SUITE.names())
+
+    def test_mean_error_is_reasonable(self, result):
+        assert 0.0 < result.mean_error_pct < 30.0
+
+    def test_worst_benchmark_consistent_with_table(self, result):
+        worst = result.worst_benchmark
+        assert result.error_of(worst) == max(result.per_benchmark_error_pct.values())
+
+
+class TestHeldOutPairValidation:
+    def test_held_out_pairs_are_predictable(self, context):
+        result = held_out_pair_validation(context, held_out_pairs=("TI-MI2", "CI-US1"),
+                                          power_caps=(250.0,))
+        assert set(result.per_pair_error_pct) == {"TI-MI2", "CI-US1"}
+        assert 0.0 < result.mean_error_pct < 30.0
+
+    def test_all_pairs_available_for_exclusion(self):
+        names = {pair.name for pair in CORUN_PAIRS}
+        assert {"TI-MI2", "CI-US1", "MI-MI2"} <= names

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(argv):
+    """Run the CLI, capturing its output lines; returns (exit_code, text)."""
+    lines: list[str] = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(lines)
+
+
+class TestListAndClassify:
+    def test_list_benchmarks(self):
+        code, text = run_cli(["list-benchmarks"])
+        assert code == 0
+        assert "stream" in text and "hgemm" in text
+        assert "tensor" in text
+
+    def test_classify_matches_paper(self):
+        code, text = run_cli(["classify"])
+        assert code == 0
+        assert "agreement with the paper's Table 7: 100%" in text
+
+
+class TestScalability:
+    def test_scalability_option_sweep(self):
+        code, text = run_cli(["scalability", "stream"])
+        assert code == 0
+        assert "private" in text and "shared" in text
+
+    def test_scalability_power_sweep(self):
+        code, text = run_cli(["scalability", "hgemm", "--sweep-power"])
+        assert code == 0
+        assert "150W" in text and "250W" in text
+
+    def test_unknown_kernel_is_an_error(self):
+        code, text = run_cli(["scalability", "not-a-benchmark"])
+        assert code == 2
+        assert "error" in text.lower()
+
+
+class TestDecide:
+    def test_problem1_decision(self):
+        code, text = run_cli(["decide", "igemm4", "stream", "--policy", "problem1", "--power-cap", "230"])
+        assert code == 0
+        assert "choose" in text
+        assert "S1" in text  # evaluations table lists every candidate state
+
+    def test_problem2_decision(self):
+        code, text = run_cli(["decide", "srad", "needle", "--policy", "problem2", "--alpha", "0.2"])
+        assert code == 0
+        assert "problem2" in text
+
+    def test_unprofiled_app_is_an_error(self):
+        code, text = run_cli(["decide", "igemm4", "unknown-app"])
+        assert code == 2
+        assert "error" in text.lower()
+
+
+class TestAccuracyAndFigures:
+    def test_accuracy_summary(self):
+        code, text = run_cli(["accuracy"])
+        assert code == 0
+        assert "throughput" in text and "fairness" in text
+
+    @pytest.mark.parametrize("number", ["6", "9", "10"])
+    def test_figure_regeneration(self, number):
+        code, text = run_cli(["figure", number])
+        assert code == 0
+        assert len(text.splitlines()) >= 4
+
+    def test_invalid_figure_number_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            run_cli(["figure", "7"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli([])

@@ -1,0 +1,96 @@
+"""Tests for jobs and the job queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.job import Job, JobState
+from repro.cluster.queue import JobQueue
+from repro.errors import SchedulingError
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+@pytest.fixture()
+def queue():
+    return JobQueue()
+
+
+class TestJob:
+    def test_lifecycle_forward_transitions(self):
+        job = Job(job_id=0, kernel=DEFAULT_SUITE.get("stream"))
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.COMPLETED)
+        assert job.state is JobState.COMPLETED
+
+    def test_backward_transition_rejected(self):
+        job = Job(job_id=0, kernel=DEFAULT_SUITE.get("stream"))
+        job.transition(JobState.COMPLETED)
+        with pytest.raises(SchedulingError):
+            job.transition(JobState.PENDING)
+
+    def test_turnaround_requires_finish(self):
+        job = Job(job_id=0, kernel=DEFAULT_SUITE.get("stream"), submit_time=1.0)
+        with pytest.raises(SchedulingError):
+            _ = job.turnaround_time
+        job.start_time = 2.0
+        job.finish_time = 5.0
+        assert job.turnaround_time == pytest.approx(4.0)
+        assert job.runtime == pytest.approx(3.0)
+
+    def test_name_and_history(self):
+        job = Job(job_id=3, kernel=DEFAULT_SUITE.get("dgemm"))
+        job.mark("hello")
+        assert job.name == "dgemm"
+        assert job.history == ["hello"]
+
+
+class TestJobQueue:
+    def test_submit_assigns_increasing_ids(self, queue):
+        first = queue.submit(DEFAULT_SUITE.get("stream"))
+        second = queue.submit(DEFAULT_SUITE.get("dgemm"))
+        assert (first.job_id, second.job_id) == (0, 1)
+        assert len(queue) == 2
+
+    def test_submit_all(self, queue):
+        jobs = queue.submit_all([DEFAULT_SUITE.get("stream"), DEFAULT_SUITE.get("dgemm")])
+        assert len(jobs) == 2
+
+    def test_peek_and_pop_are_fifo(self, queue):
+        queue.submit(DEFAULT_SUITE.get("stream"))
+        queue.submit(DEFAULT_SUITE.get("dgemm"))
+        assert queue.peek().name == "stream"
+        assert queue.pop().name == "stream"
+        assert queue.pop().name == "dgemm"
+        assert queue.empty
+
+    def test_peek_empty_raises(self, queue):
+        with pytest.raises(SchedulingError):
+            queue.peek()
+
+    def test_window_limits_lookahead(self, queue):
+        for name in ("stream", "dgemm", "hgemm", "lud"):
+            queue.submit(DEFAULT_SUITE.get(name))
+        window = queue.window(2)
+        assert [job.name for job in window] == ["stream", "dgemm"]
+        assert len(queue.window(10)) == 4
+        with pytest.raises(SchedulingError):
+            queue.window(0)
+
+    def test_remove_specific_job(self, queue):
+        queue.submit(DEFAULT_SUITE.get("stream"))
+        job = queue.submit(DEFAULT_SUITE.get("dgemm"))
+        queue.remove(job)
+        assert [j.name for j in queue] == ["stream"]
+        with pytest.raises(SchedulingError):
+            queue.remove(job)
+
+    def test_clock_cannot_go_backwards(self, queue):
+        queue.advance_clock(10.0)
+        job = queue.submit(DEFAULT_SUITE.get("stream"))
+        assert job.submit_time == 10.0
+        with pytest.raises(SchedulingError):
+            queue.advance_clock(5.0)
+
+    def test_pending_lists_unscheduled_jobs(self, queue):
+        queue.submit(DEFAULT_SUITE.get("stream"))
+        assert len(queue.pending()) == 1

@@ -1,0 +1,117 @@
+"""Tests for compute nodes and the cluster power-budget manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import ComputeNode
+from repro.cluster.powerbudget import ClusterPowerManager, PowerRequest
+from repro.errors import ConfigurationError, PowerCapError
+from repro.gpu.mig import S1
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.noise import no_noise
+from repro.workloads.pairs import corun_pair
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+class TestComputeNode:
+    @pytest.fixture()
+    def node(self):
+        return ComputeNode(node_id=0, simulator=PerformanceSimulator(noise=no_noise()))
+
+    def test_starts_free_and_unpartitioned(self, node):
+        assert node.is_free(0.0)
+        assert node.current_partition is None
+        assert node.power_limit_w == node.spec.default_power_limit_w
+
+    def test_configure_applies_partition_and_cap(self, node):
+        uuids = node.configure(S1, 210)
+        assert len(uuids) == 2
+        assert node.current_partition is S1
+        assert node.power_limit_w == pytest.approx(210)
+
+    def test_release_clears_partition(self, node):
+        node.configure(S1, 210)
+        node.release()
+        assert node.current_partition is None
+
+    def test_execute_pair_returns_measured_result(self, node):
+        kernels = list(corun_pair("CI-US1").kernels())
+        result = node.execute_pair(kernels, S1, 230)
+        assert result.n_apps == 2
+        assert result.power_cap_w == 230
+        # The node tears the partition down after the run.
+        assert node.current_partition is None
+
+    def test_execute_exclusive_matches_reference_time(self, node):
+        kernel = DEFAULT_SUITE.get("dgemm")
+        assert node.execute_exclusive(kernel) == pytest.approx(
+            node.simulator.reference_time(kernel)
+        )
+
+    def test_busy_window(self, node):
+        node.busy_until = 10.0
+        assert not node.is_free(5.0)
+        assert node.is_free(10.0)
+
+
+class TestPowerRequest:
+    def test_valid_request(self):
+        request = PowerRequest(node_id=0, desired_w=230, minimum_w=100)
+        assert request.desired_w == 230
+
+    def test_desired_below_minimum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerRequest(node_id=0, desired_w=90, minimum_w=100)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerRequest(node_id=0, desired_w=0, minimum_w=0)
+
+
+class TestClusterPowerManager:
+    @pytest.fixture()
+    def manager(self):
+        return ClusterPowerManager()
+
+    def test_empty_requests(self, manager):
+        assert manager.distribute([], 1000.0) == {}
+
+    def test_ample_budget_grants_everyone_their_wish(self, manager):
+        requests = [
+            PowerRequest(0, desired_w=250, minimum_w=100),
+            PowerRequest(1, desired_w=150, minimum_w=100),
+        ]
+        allocation = manager.distribute(requests, total_budget_w=500)
+        assert allocation[0] == pytest.approx(250)
+        assert allocation[1] == pytest.approx(150)
+
+    def test_scarce_budget_scales_extras_proportionally(self, manager):
+        requests = [
+            PowerRequest(0, desired_w=300, minimum_w=100),
+            PowerRequest(1, desired_w=200, minimum_w=100),
+        ]
+        allocation = manager.distribute(requests, total_budget_w=350)
+        assert sum(allocation.values()) == pytest.approx(350)
+        # Minimums are honoured and the remaining 150 W is split 2:1.
+        assert allocation[0] == pytest.approx(100 + 100)
+        assert allocation[1] == pytest.approx(100 + 50)
+
+    def test_budget_below_minimums_rejected(self, manager):
+        requests = [PowerRequest(0, desired_w=200, minimum_w=150)]
+        with pytest.raises(PowerCapError):
+            manager.distribute(requests, total_budget_w=100)
+
+    def test_invalid_budget_rejected(self, manager):
+        with pytest.raises(ConfigurationError):
+            manager.distribute([PowerRequest(0, 200, 100)], total_budget_w=0)
+
+    def test_allocation_never_exceeds_device_maximum(self, manager):
+        requests = [PowerRequest(0, desired_w=300, minimum_w=100)]
+        allocation = manager.distribute(requests, total_budget_w=1000)
+        assert allocation[0] <= manager._spec.max_power_cap_w
+
+    def test_headroom(self, manager):
+        requests = [PowerRequest(0, desired_w=150, minimum_w=100)]
+        allocation = manager.distribute(requests, total_budget_w=400)
+        assert manager.headroom(allocation, 400) == pytest.approx(250)

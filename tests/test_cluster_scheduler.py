@@ -1,0 +1,176 @@
+"""Tests for the co-scheduler and the job manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.job import JobState
+from repro.cluster.manager import JobManager
+from repro.cluster.node import ComputeNode
+from repro.cluster.queue import JobQueue
+from repro.cluster.scheduler import CoScheduler, SchedulerConfig
+from repro.core.workflow import PaperWorkflow, TrainingPlan
+from repro.errors import SchedulingError
+from repro.gpu.mig import CORUN_STATES, MemoryOption
+from repro.profiling.database import ProfileDatabase
+from repro.core.workflow import OnlineAllocator
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.noise import no_noise
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    wf = PaperWorkflow(
+        simulator=PerformanceSimulator(noise=no_noise()),
+        plan=TrainingPlan(
+            gpc_counts=(3, 4),
+            options=(MemoryOption.SHARED, MemoryOption.PRIVATE),
+            power_caps=(230.0, 250.0),
+        ),
+        power_caps=(230.0, 250.0),
+    )
+    wf.train()
+    return wf
+
+
+@pytest.fixture()
+def scheduler(workflow):
+    config = SchedulerConfig(policy_name="problem1", power_cap_w=250.0, alpha=0.2, window_size=4)
+    return CoScheduler(workflow.online, config)
+
+
+@pytest.fixture()
+def node(workflow):
+    return ComputeNode(node_id=0, simulator=workflow.simulator)
+
+
+class TestPlanning:
+    def test_empty_queue_rejected(self, scheduler):
+        with pytest.raises(SchedulingError):
+            scheduler.plan_next(JobQueue())
+
+    def test_profiled_pair_is_co_scheduled(self, scheduler):
+        queue = JobQueue()
+        queue.submit(DEFAULT_SUITE.get("igemm4"))
+        queue.submit(DEFAULT_SUITE.get("stream"))
+        plan = scheduler.plan_next(queue)
+        assert len(plan.jobs) == 2
+        assert plan.decision is not None
+        assert plan.decision.state in CORUN_STATES
+
+    def test_single_job_runs_alone(self, scheduler):
+        queue = JobQueue()
+        queue.submit(DEFAULT_SUITE.get("igemm4"))
+        plan = scheduler.plan_next(queue)
+        assert len(plan.jobs) == 1
+        assert plan.decision is None
+
+    def test_unprofiled_head_triggers_profile_run(self, workflow):
+        allocator = OnlineAllocator(
+            workflow.model,
+            database=ProfileDatabase(),
+            power_caps=(230.0, 250.0),
+        )
+        scheduler = CoScheduler(allocator, SchedulerConfig(policy_name="problem1", power_cap_w=250.0))
+        queue = JobQueue()
+        queue.submit(DEFAULT_SUITE.get("igemm4"))
+        queue.submit(DEFAULT_SUITE.get("stream"))
+        plan = scheduler.plan_next(queue)
+        assert plan.reason == "profile run"
+        assert len(plan.jobs) == 1
+
+    def test_window_limits_partner_search(self, workflow):
+        config = SchedulerConfig(policy_name="problem1", power_cap_w=250.0, window_size=2)
+        scheduler = CoScheduler(workflow.online, config)
+        queue = JobQueue()
+        queue.submit(DEFAULT_SUITE.get("igemm4"))
+        queue.submit(DEFAULT_SUITE.get("kmeans"))
+        queue.submit(DEFAULT_SUITE.get("stream"))
+        plan = scheduler.plan_next(queue)
+        # With window 2 only kmeans is reachable as a partner.
+        assert {job.name for job in plan.jobs} == {"igemm4", "kmeans"}
+
+    def test_partner_choice_prefers_higher_predicted_objective(self, scheduler):
+        queue = JobQueue()
+        queue.submit(DEFAULT_SUITE.get("igemm4"))
+        queue.submit(DEFAULT_SUITE.get("tdgemm"))
+        queue.submit(DEFAULT_SUITE.get("stream"))
+        plan = scheduler.plan_next(queue)
+        # Pairing the Tensor kernel with the memory-bound kernel yields much
+        # higher weighted speedup than pairing two Tensor kernels.
+        assert {job.name for job in plan.jobs} == {"igemm4", "stream"}
+
+
+class TestDispatch:
+    def test_dispatch_pair_updates_jobs_and_node(self, scheduler, node):
+        queue = JobQueue()
+        queue.submit(DEFAULT_SUITE.get("igemm4"))
+        queue.submit(DEFAULT_SUITE.get("stream"))
+        plan = scheduler.plan_next(queue)
+        finish = scheduler.dispatch(plan, queue, node, time=0.0)
+        assert queue.empty
+        assert finish > 0
+        assert node.busy_until == pytest.approx(finish)
+        for job in plan.jobs:
+            assert job.state is JobState.COMPLETED
+            assert job.co_runner is not None
+            assert job.finish_time is not None and job.finish_time <= finish + 1e-9
+
+    def test_dispatch_respects_busy_node(self, scheduler, node):
+        queue = JobQueue()
+        queue.submit(DEFAULT_SUITE.get("igemm4"))
+        plan = scheduler.plan_next(queue)
+        node.busy_until = 100.0
+        with pytest.raises(SchedulingError):
+            scheduler.dispatch(plan, queue, node, time=0.0)
+
+    def test_dispatch_solo_job(self, scheduler, node):
+        queue = JobQueue()
+        queue.submit(DEFAULT_SUITE.get("dgemm"))
+        plan = scheduler.plan_next(queue)
+        finish = scheduler.dispatch(plan, queue, node, time=5.0)
+        job = plan.jobs[0]
+        assert job.state is JobState.COMPLETED
+        assert job.co_runner is None
+        assert finish == pytest.approx(5.0 + job.runtime)
+
+
+class TestJobManager:
+    def test_coscheduled_run_completes_all_jobs(self, workflow):
+        manager = JobManager.from_workflow(
+            workflow,
+            n_nodes=2,
+            scheduler_config=SchedulerConfig(policy_name="problem1", power_cap_w=250.0, window_size=4),
+        )
+        kernels = [DEFAULT_SUITE.get(n) for n in ("igemm4", "stream", "srad", "needle", "hgemm", "lud")]
+        report = manager.run_coscheduled(kernels)
+        assert report.n_jobs == 6
+        assert report.co_scheduled_jobs + report.exclusive_jobs == 6
+        assert report.makespan_s > 0
+        assert all(job.state is JobState.COMPLETED for job in report.jobs)
+
+    def test_exclusive_baseline(self, workflow):
+        manager = JobManager.from_workflow(workflow, n_nodes=1)
+        kernels = [DEFAULT_SUITE.get(n) for n in ("igemm4", "stream")]
+        report = manager.run_exclusive(kernels)
+        assert report.co_scheduled_jobs == 0
+        assert report.exclusive_jobs == 2
+        expected = sum(workflow.simulator.reference_time(k) for k in kernels)
+        assert report.makespan_s == pytest.approx(expected, rel=1e-6)
+
+    def test_empty_job_list_rejected(self, workflow):
+        manager = JobManager.from_workflow(workflow)
+        with pytest.raises(SchedulingError):
+            manager.run_coscheduled([])
+
+    def test_more_nodes_reduce_makespan(self, workflow):
+        kernels = [DEFAULT_SUITE.get(n) for n in ("dgemm", "hotspot", "sgemm", "lavaMD")]
+        single = JobManager.from_workflow(workflow, n_nodes=1).run_exclusive(kernels)
+        double = JobManager.from_workflow(workflow, n_nodes=2).run_exclusive(kernels)
+        assert double.makespan_s < single.makespan_s
+
+    def test_report_summary_text(self, workflow):
+        manager = JobManager.from_workflow(workflow, n_nodes=1)
+        report = manager.run_exclusive([DEFAULT_SUITE.get("dgemm")])
+        assert "makespan" in report.summary()

@@ -1,0 +1,156 @@
+"""Tests for the linear-regression performance model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import DEFAULT_BASIS
+from repro.core.model import HardwareStateKey, LinearPerfModel, required_state_keys
+from repro.errors import ModelError, NotFittedError
+from repro.gpu.mig import CORUN_STATES, MemoryOption, S1
+from repro.sim.counters import collect_counters
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+@pytest.fixture()
+def profiles():
+    return {
+        name: collect_counters(DEFAULT_SUITE.get(name))
+        for name in ("dgemm", "stream", "hgemm", "kmeans")
+    }
+
+
+def key(gpcs=4, option=MemoryOption.SHARED, power=250.0) -> HardwareStateKey:
+    return HardwareStateKey(gpcs, option, power)
+
+
+class TestHardwareStateKey:
+    def test_from_state_extracts_per_app_view(self):
+        key0 = HardwareStateKey.from_state(S1, 0, 230)
+        key1 = HardwareStateKey.from_state(S1, 1, 230)
+        assert key0.gpcs == 4 and key1.gpcs == 3
+        assert key0.option is MemoryOption.SHARED
+        assert key0.power_cap_w == 230.0
+
+    def test_keys_are_hashable_and_comparable(self):
+        assert key() == key()
+        assert key() != key(gpcs=3)
+        assert len({key(), key(), key(gpcs=3)}) == 2
+
+    def test_accepts_string_option(self):
+        assert HardwareStateKey(4, "private", 200).option is MemoryOption.PRIVATE
+
+    def test_describe(self):
+        assert key().describe() == "4GPCs/shared/250W"
+
+
+class TestRequiredStateKeys:
+    def test_paper_grid_produces_expected_keys(self):
+        keys = required_state_keys(CORUN_STATES, (150.0, 250.0))
+        # Per-application views: {3,4} GPCs x {private,shared} x 2 caps.
+        assert len(keys) == 2 * 2 * 2
+        assert all(k.gpcs in (3, 4) for k in keys)
+
+
+class TestCoefficientManagement:
+    def test_unfitted_model_raises(self, profiles):
+        model = LinearPerfModel()
+        with pytest.raises(NotFittedError):
+            model.predict_solo(profiles["dgemm"], key())
+
+    def test_set_and_get_scalability(self):
+        model = LinearPerfModel()
+        coeffs = np.arange(6, dtype=float)
+        model.set_scalability_coefficients(key(), coeffs)
+        assert model.has_scalability(key())
+        assert np.allclose(model.scalability_coefficients(key()), coeffs)
+
+    def test_coefficients_are_copied(self):
+        model = LinearPerfModel()
+        coeffs = np.ones(6)
+        model.set_scalability_coefficients(key(), coeffs)
+        coeffs[0] = 99.0
+        assert model.scalability_coefficients(key())[0] == 1.0
+
+    def test_wrong_shape_rejected(self):
+        model = LinearPerfModel()
+        with pytest.raises(ModelError):
+            model.set_scalability_coefficients(key(), np.ones(4))
+        with pytest.raises(ModelError):
+            model.set_interference_coefficients(key(), np.ones(6))
+
+    def test_interference_requires_fit(self, profiles):
+        model = LinearPerfModel()
+        model.set_scalability_coefficients(key(), np.ones(6))
+        with pytest.raises(NotFittedError):
+            model.predict_rperf(profiles["dgemm"], key(), [profiles["stream"]])
+        with pytest.raises(NotFittedError):
+            model.interference_coefficients(key())
+
+    def test_fitted_state_listing(self):
+        model = LinearPerfModel()
+        model.set_scalability_coefficients(key(gpcs=3), np.ones(6))
+        model.set_scalability_coefficients(key(gpcs=4), np.ones(6))
+        states = model.fitted_scalability_states()
+        assert len(states) == 2
+        assert states[0].gpcs == 3
+
+
+class TestPrediction:
+    def test_solo_prediction_is_dot_product(self, profiles):
+        model = LinearPerfModel()
+        coeffs = np.array([0.1, 0.2, 0.0, 0.0, 0.0, 0.5])
+        model.set_scalability_coefficients(key(), coeffs)
+        expected = float(coeffs @ DEFAULT_BASIS.h(profiles["dgemm"]))
+        assert model.predict_solo(profiles["dgemm"], key()) == pytest.approx(expected)
+
+    def test_prediction_clamped_at_zero(self, profiles):
+        model = LinearPerfModel()
+        model.set_scalability_coefficients(key(), -np.ones(6))
+        assert model.predict_solo(profiles["dgemm"], key()) == 0.0
+
+    def test_interference_term_added(self, profiles):
+        model = LinearPerfModel()
+        model.set_scalability_coefficients(key(), np.array([0, 0, 0, 0, 0, 0.5]))
+        model.set_interference_coefficients(key(), np.array([0.0, 0.0, -0.1]))
+        solo = model.predict_rperf(profiles["dgemm"], key())
+        with_partner = model.predict_rperf(profiles["dgemm"], key(), [profiles["stream"]])
+        assert solo == pytest.approx(0.5)
+        assert with_partner == pytest.approx(0.4)
+
+    def test_predict_corun_uses_per_app_keys(self, profiles, trained_model):
+        predictions = trained_model.predict_corun(
+            [profiles["hgemm"], profiles["stream"]], S1, 250.0
+        )
+        assert len(predictions) == 2
+        assert all(0.0 <= p <= 1.5 for p in predictions)
+
+    def test_predict_corun_validates_length(self, profiles, trained_model):
+        with pytest.raises(ModelError):
+            trained_model.predict_corun([profiles["hgemm"]], S1, 250.0)
+
+
+class TestPersistence:
+    def test_roundtrip(self, trained_model, profiles):
+        data = trained_model.to_dict()
+        rebuilt = LinearPerfModel.from_dict(data)
+        original = trained_model.predict_corun([profiles["hgemm"], profiles["stream"]], S1, 250.0)
+        restored = rebuilt.predict_corun([profiles["hgemm"], profiles["stream"]], S1, 250.0)
+        assert original == pytest.approx(restored)
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ModelError):
+            LinearPerfModel.from_dict({"format": "other"})
+
+    def test_rejects_wrong_basis(self, trained_model):
+        data = trained_model.to_dict()
+        data["basis"] = "something-else"
+        with pytest.raises(ModelError):
+            LinearPerfModel.from_dict(data)
+
+    def test_serialization_is_json_compatible(self, trained_model):
+        import json
+
+        text = json.dumps(trained_model.to_dict())
+        assert "repro-linear-perf-model" in text

@@ -1,0 +1,53 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    exception_types = [
+        errors.ConfigurationError,
+        errors.SpecificationError,
+        errors.PartitioningError,
+        errors.PowerCapError,
+        errors.WorkloadError,
+        errors.UnknownKernelError,
+        errors.ProfileError,
+        errors.MissingProfileError,
+        errors.ModelError,
+        errors.NotFittedError,
+        errors.OptimizationError,
+        errors.InfeasibleProblemError,
+        errors.SimulationError,
+        errors.SchedulingError,
+    ]
+    for exc_type in exception_types:
+        assert issubclass(exc_type, errors.ReproError)
+
+
+def test_specification_error_is_configuration_error():
+    assert issubclass(errors.SpecificationError, errors.ConfigurationError)
+
+
+def test_unknown_kernel_error_is_keyerror():
+    assert issubclass(errors.UnknownKernelError, KeyError)
+
+
+def test_missing_profile_error_is_keyerror():
+    assert issubclass(errors.MissingProfileError, KeyError)
+
+
+def test_not_fitted_error_is_model_error():
+    assert issubclass(errors.NotFittedError, errors.ModelError)
+
+
+def test_infeasible_is_optimization_error():
+    assert issubclass(errors.InfeasibleProblemError, errors.OptimizationError)
+
+
+def test_catching_base_class_catches_subclasses():
+    with pytest.raises(errors.ReproError):
+        raise errors.PartitioningError("boom")

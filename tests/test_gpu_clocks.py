@@ -1,0 +1,78 @@
+"""Tests for the DVFS model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.clocks import DVFSModel
+from repro.gpu.spec import A100_SPEC
+
+
+@pytest.fixture()
+def dvfs():
+    return DVFSModel(A100_SPEC)
+
+
+class TestConversions:
+    def test_full_relative_is_boost_clock(self, dvfs):
+        assert dvfs.to_ghz(1.0) == pytest.approx(A100_SPEC.max_clock_ghz)
+
+    def test_roundtrip(self, dvfs):
+        assert dvfs.to_relative(dvfs.to_ghz(0.8)) == pytest.approx(0.8)
+
+    def test_to_relative_clamps_to_bounds(self, dvfs):
+        assert dvfs.to_relative(100.0) == 1.0
+        assert dvfs.to_relative(0.001) == pytest.approx(dvfs.min_relative)
+
+    def test_to_relative_rejects_non_positive(self, dvfs):
+        with pytest.raises(ConfigurationError):
+            dvfs.to_relative(0.0)
+
+    def test_invalid_relative_rejected(self, dvfs):
+        with pytest.raises(ConfigurationError):
+            dvfs.to_ghz(0.0)
+        with pytest.raises(ConfigurationError):
+            dvfs.dynamic_power_scale(1.5)
+
+
+class TestScaling:
+    def test_dynamic_power_scale_at_boost_is_one(self, dvfs):
+        assert dvfs.dynamic_power_scale(1.0) == pytest.approx(1.0)
+
+    def test_dynamic_power_scale_is_superlinear(self, dvfs):
+        assert dvfs.dynamic_power_scale(0.5) < 0.5
+
+    def test_dynamic_power_scale_monotonic(self, dvfs):
+        values = [dvfs.dynamic_power_scale(f) for f in (0.4, 0.6, 0.8, 1.0)]
+        assert values == sorted(values)
+
+    def test_performance_scale_is_linear(self, dvfs):
+        assert dvfs.performance_scale(0.7) == pytest.approx(0.7)
+
+
+class TestQuantization:
+    def test_quantize_never_exceeds_input(self, dvfs):
+        for value in (0.35, 0.51, 0.77, 0.99, 1.0):
+            assert dvfs.quantize(value) <= value + 1e-9
+
+    def test_quantize_respects_minimum(self, dvfs):
+        assert dvfs.quantize(dvfs.min_relative) >= dvfs.min_relative - 1e-9
+
+    def test_quantize_of_one_is_one(self, dvfs):
+        assert dvfs.quantize(1.0) == pytest.approx(1.0)
+
+    def test_available_steps_sorted_and_bounded(self, dvfs):
+        steps = dvfs.available_steps()
+        assert steps == tuple(sorted(steps))
+        assert steps[0] >= dvfs.min_relative - 1e-9
+        assert steps[-1] == 1.0
+        assert len(steps) > 10
+
+    def test_clock_state_marks_throttling(self, dvfs):
+        assert dvfs.clock_state(0.6).throttled
+        assert not dvfs.clock_state(1.0).throttled
+
+    def test_clock_state_reports_ghz(self, dvfs):
+        state = dvfs.clock_state(1.0)
+        assert state.ghz == pytest.approx(A100_SPEC.max_clock_ghz)

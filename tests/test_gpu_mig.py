@@ -1,0 +1,230 @@
+"""Tests for the MIG partitioning model (partition states and the manager)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitioningError, SpecificationError
+from repro.gpu.mig import (
+    CORUN_STATES,
+    GPC_TO_MEM_SLICES,
+    VALID_INSTANCE_SIZES,
+    InstanceAllocation,
+    MemoryOption,
+    MIGManager,
+    PartitionState,
+    S1,
+    S2,
+    S3,
+    S4,
+    enumerate_corun_states,
+    solo_state,
+    solo_states,
+)
+from repro.gpu.spec import A100_SPEC
+
+
+class TestPartitionState:
+    def test_paper_states_are_defined(self):
+        assert S1.gpc_allocations == (4, 3) and S1.option is MemoryOption.SHARED
+        assert S2.gpc_allocations == (3, 4) and S2.option is MemoryOption.SHARED
+        assert S3.gpc_allocations == (4, 3) and S3.option is MemoryOption.PRIVATE
+        assert S4.gpc_allocations == (3, 4) and S4.option is MemoryOption.PRIVATE
+        assert CORUN_STATES == (S1, S2, S3, S4)
+
+    def test_invalid_instance_size_rejected(self):
+        with pytest.raises(SpecificationError):
+            PartitionState((5, 2), MemoryOption.PRIVATE)
+
+    def test_empty_allocation_rejected(self):
+        with pytest.raises(SpecificationError):
+            PartitionState((), MemoryOption.PRIVATE)
+
+    def test_option_accepts_string(self):
+        state = PartitionState((4, 3), "shared")
+        assert state.option is MemoryOption.SHARED
+
+    def test_private_allocation_uses_slice_mapping(self):
+        for gpcs, slices in GPC_TO_MEM_SLICES.items():
+            allocation = solo_state(gpcs, MemoryOption.PRIVATE).allocation_for(0)
+            assert allocation.mem_slices == slices
+            assert not allocation.shared_memory
+
+    def test_shared_allocation_sees_all_slices(self):
+        allocation = S1.allocation_for(1)
+        assert allocation.mem_slices == A100_SPEC.n_mem_slices
+        assert allocation.shared_memory
+
+    def test_allocation_for_out_of_range(self):
+        with pytest.raises(IndexError):
+            S1.allocation_for(2)
+
+    def test_swapped_reverses_order(self):
+        assert S1.swapped().gpc_allocations == (3, 4)
+        assert S1.swapped().option is MemoryOption.SHARED
+
+    def test_total_gpcs_and_solo_flag(self):
+        assert S1.total_gpcs == 7
+        assert not S1.is_solo
+        assert solo_state(4).is_solo
+
+    def test_validate_against_accepts_paper_states(self):
+        for state in CORUN_STATES:
+            state.validate_against(A100_SPEC)
+
+    def test_validate_rejects_too_many_gpcs(self):
+        state = PartitionState((4, 4), MemoryOption.SHARED)
+        with pytest.raises(PartitioningError):
+            state.validate_against(A100_SPEC)
+
+    def test_validate_rejects_private_slice_overflow(self):
+        state = PartitionState((4, 4), MemoryOption.PRIVATE)
+        with pytest.raises(PartitioningError):
+            state.validate_against(A100_SPEC)
+
+    def test_describe_mentions_gpcs_and_option(self):
+        assert "4GPCs-3GPCs" in S1.describe()
+        assert "Shared" in S1.describe()
+        assert S1.describe().startswith("S1")
+
+    def test_key_ignores_label(self):
+        relabeled = PartitionState((4, 3), MemoryOption.SHARED, "other")
+        assert relabeled.key() == S1.key()
+
+
+class TestStateEnumeration:
+    def test_solo_states_cover_sizes_and_options(self):
+        states = solo_states()
+        assert len(states) == len(VALID_INSTANCE_SIZES) * 2
+        assert all(s.is_solo for s in states)
+
+    def test_enumerate_corun_states_are_all_valid(self):
+        states = enumerate_corun_states()
+        assert len(states) > 0
+        for state in states:
+            state.validate_against(A100_SPEC)
+
+    def test_enumeration_contains_paper_states(self):
+        keys = {state.key() for state in enumerate_corun_states()}
+        for state in CORUN_STATES:
+            assert state.key() in keys
+
+
+class TestInstanceAllocation:
+    def test_rejects_invalid_size(self):
+        with pytest.raises(SpecificationError):
+            InstanceAllocation(gpcs=6, mem_slices=8, shared_memory=False)
+
+    def test_rejects_zero_slices(self):
+        with pytest.raises(SpecificationError):
+            InstanceAllocation(gpcs=4, mem_slices=0, shared_memory=False)
+
+
+class TestMIGManager:
+    @pytest.fixture()
+    def manager(self):
+        return MIGManager(A100_SPEC)
+
+    def test_instances_require_mig_mode(self, manager):
+        with pytest.raises(PartitioningError):
+            manager.create_gpu_instance(3)
+
+    def test_create_gpu_instance_claims_resources(self, manager):
+        manager.enable_mig()
+        gi = manager.create_gpu_instance(4)
+        assert gi.gpcs == 4
+        assert gi.mem_slices == GPC_TO_MEM_SLICES[4]
+        assert manager.free_gpcs == A100_SPEC.mig_gpcs - 4
+
+    def test_invalid_gi_size_rejected(self, manager):
+        manager.enable_mig()
+        with pytest.raises(PartitioningError):
+            manager.create_gpu_instance(5)
+
+    def test_cannot_overcommit_gpcs(self, manager):
+        manager.enable_mig()
+        manager.create_gpu_instance(4)
+        manager.create_gpu_instance(3)
+        with pytest.raises(PartitioningError):
+            manager.create_gpu_instance(1)
+
+    def test_compute_instance_lives_inside_gi(self, manager):
+        manager.enable_mig()
+        gi = manager.create_gpu_instance(4)
+        ci = manager.create_compute_instance(gi.gi_id, 4)
+        assert ci.gi_id == gi.gi_id
+        assert ci.uuid.startswith("MIG-GPU-")
+        assert gi.free_gpcs == 0
+
+    def test_compute_instance_cannot_exceed_gi(self, manager):
+        manager.enable_mig()
+        gi = manager.create_gpu_instance(3)
+        with pytest.raises(PartitioningError):
+            manager.create_compute_instance(gi.gi_id, 4)
+
+    def test_compute_instance_unknown_gi(self, manager):
+        manager.enable_mig()
+        with pytest.raises(PartitioningError):
+            manager.create_compute_instance(99, 1)
+
+    def test_destroy_compute_instance(self, manager):
+        manager.enable_mig()
+        gi = manager.create_gpu_instance(3)
+        ci = manager.create_compute_instance(gi.gi_id, 3)
+        manager.destroy_compute_instance(ci.uuid)
+        assert gi.free_gpcs == 3
+        with pytest.raises(PartitioningError):
+            manager.destroy_compute_instance(ci.uuid)
+
+    def test_destroy_gi_requires_empty(self, manager):
+        manager.enable_mig()
+        gi = manager.create_gpu_instance(3)
+        manager.create_compute_instance(gi.gi_id, 1)
+        with pytest.raises(PartitioningError):
+            manager.destroy_gpu_instance(gi.gi_id)
+
+    def test_disable_mig_requires_no_instances(self, manager):
+        manager.enable_mig()
+        manager.create_gpu_instance(3)
+        with pytest.raises(PartitioningError):
+            manager.disable_mig()
+        manager.reset()
+        manager.disable_mig()
+        assert not manager.mig_enabled
+
+    def test_uuid_uniqueness(self, manager):
+        manager.enable_mig()
+        gi = manager.create_gpu_instance(7, A100_SPEC.n_mem_slices)
+        uuids = {manager.create_compute_instance(gi.gi_id, 1).uuid for _ in range(7)}
+        assert len(uuids) == 7
+
+    @pytest.mark.parametrize("state", CORUN_STATES, ids=lambda s: s.label)
+    def test_apply_partition_state_creates_one_ci_per_app(self, manager, state):
+        cis = manager.apply_partition_state(state)
+        assert len(cis) == state.n_apps
+        assert [ci.gpcs for ci in cis] == list(state.gpc_allocations)
+
+    def test_apply_private_state_creates_two_gis(self, manager):
+        manager.apply_partition_state(S3)
+        assert len(manager.list_gpu_instances()) == 2
+
+    def test_apply_shared_state_creates_single_gi(self, manager):
+        manager.apply_partition_state(S1)
+        gis = manager.list_gpu_instances()
+        assert len(gis) == 1
+        assert gis[0].gpcs == A100_SPEC.mig_gpcs
+        assert gis[0].mem_slices == A100_SPEC.n_mem_slices
+
+    def test_apply_state_is_repeatable(self, manager):
+        manager.apply_partition_state(S1)
+        manager.apply_partition_state(S3)
+        assert len(manager.list_compute_instances()) == 2
+
+    def test_find_compute_instance_by_uuid(self, manager):
+        cis = manager.apply_partition_state(S1)
+        found = manager.find_compute_instance(cis[0].uuid)
+        assert found.ci_id == cis[0].ci_id
+
+    def test_visible_devices_lists_all_cis(self, manager):
+        cis = manager.apply_partition_state(S4)
+        assert set(manager.iter_visible_devices()) == {ci.uuid for ci in cis}

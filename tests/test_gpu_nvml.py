@@ -1,0 +1,100 @@
+"""Tests for the NVML / nvidia-smi facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitioningError, PowerCapError
+from repro.gpu.mig import S1
+from repro.gpu.nvml import SimulatedNVML, SimulatedSMI
+from repro.gpu.spec import A100_SPEC
+
+
+class TestSimulatedNVML:
+    @pytest.fixture()
+    def nvml(self):
+        api = SimulatedNVML(A100_SPEC)
+        api.nvmlInit()
+        return api
+
+    def test_requires_init(self):
+        api = SimulatedNVML(A100_SPEC)
+        with pytest.raises(RuntimeError):
+            api.nvmlDeviceGetCount()
+
+    def test_device_count_is_one(self, nvml):
+        assert nvml.nvmlDeviceGetCount() == 1
+
+    def test_handle_lookup(self, nvml):
+        handle = nvml.nvmlDeviceGetHandleByIndex(0)
+        assert nvml.nvmlDeviceGetName(handle) == A100_SPEC.name
+
+    def test_invalid_index_rejected(self, nvml):
+        with pytest.raises(PartitioningError):
+            nvml.nvmlDeviceGetHandleByIndex(1)
+
+    def test_default_power_limit_in_milliwatts(self, nvml):
+        handle = nvml.nvmlDeviceGetHandleByIndex(0)
+        assert nvml.nvmlDeviceGetPowerManagementDefaultLimit(handle) == int(
+            A100_SPEC.default_power_limit_w * 1000
+        )
+
+    def test_power_limit_constraints(self, nvml):
+        handle = nvml.nvmlDeviceGetHandleByIndex(0)
+        low, high = nvml.nvmlDeviceGetPowerManagementLimitConstraints(handle)
+        assert low == int(A100_SPEC.min_power_cap_w * 1000)
+        assert high == int(A100_SPEC.max_power_cap_w * 1000)
+
+    def test_set_power_limit(self, nvml):
+        handle = nvml.nvmlDeviceGetHandleByIndex(0)
+        nvml.nvmlDeviceSetPowerManagementLimit(handle, 190_000)
+        assert nvml.nvmlDeviceGetPowerManagementLimit(handle) == 190_000
+        assert nvml.power_limit_w == pytest.approx(190.0)
+
+    def test_set_power_limit_out_of_range(self, nvml):
+        handle = nvml.nvmlDeviceGetHandleByIndex(0)
+        with pytest.raises(PowerCapError):
+            nvml.nvmlDeviceSetPowerManagementLimit(handle, 10_000)
+
+    def test_mig_mode_toggle(self, nvml):
+        handle = nvml.nvmlDeviceGetHandleByIndex(0)
+        assert not nvml.nvmlDeviceGetMigMode(handle)
+        nvml.nvmlDeviceSetMigMode(handle, True)
+        assert nvml.nvmlDeviceGetMigMode(handle)
+
+    def test_shutdown_requires_reinit(self, nvml):
+        nvml.nvmlShutdown()
+        with pytest.raises(RuntimeError):
+            nvml.nvmlDeviceGetCount()
+
+
+class TestSimulatedSMI:
+    @pytest.fixture()
+    def smi(self):
+        return SimulatedSMI(A100_SPEC)
+
+    def test_default_power_limit(self, smi):
+        assert smi.power_limit_w == A100_SPEC.default_power_limit_w
+
+    def test_set_power_limit_logs_command(self, smi):
+        smi.set_power_limit(170)
+        assert smi.power_limit_w == pytest.approx(170.0)
+        assert any("-pl 170" in cmd for cmd in smi.command_log)
+
+    def test_enable_mig_logs_command(self, smi):
+        smi.enable_mig()
+        assert "nvidia-smi -mig 1" in smi.command_log
+
+    def test_apply_partition_state_returns_uuids(self, smi):
+        uuids = smi.apply_partition_state(S1)
+        assert len(uuids) == 2
+        assert set(smi.visible_devices()) == set(uuids)
+
+    def test_reset_partitions_clears_devices(self, smi):
+        smi.apply_partition_state(S1)
+        smi.reset_partitions()
+        assert smi.visible_devices() == ()
+
+    def test_invalid_power_limit_rejected(self, smi):
+        with pytest.raises(PowerCapError):
+            smi.set_power_limit(20)

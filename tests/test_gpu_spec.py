@@ -1,0 +1,130 @@
+"""Tests for the GPU hardware specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PowerCapError, SpecificationError
+from repro.gpu.spec import A100_SPEC, CUDA_PIPES, TENSOR_PIPES, GPUSpec, Pipe, PipeThroughput
+
+
+class TestPipe:
+    def test_tensor_pipes_are_flagged(self):
+        for pipe in TENSOR_PIPES:
+            assert pipe.is_tensor
+
+    def test_cuda_pipes_are_not_tensor(self):
+        for pipe in CUDA_PIPES:
+            assert not pipe.is_tensor
+
+    def test_all_pipes_are_covered(self):
+        assert set(TENSOR_PIPES) | set(CUDA_PIPES) == set(Pipe)
+
+
+class TestPipeThroughput:
+    def test_positive_throughput_accepted(self):
+        entry = PipeThroughput(Pipe.FP32, 19.5)
+        assert entry.tflops == 19.5
+
+    def test_zero_throughput_rejected(self):
+        with pytest.raises(SpecificationError):
+            PipeThroughput(Pipe.FP32, 0.0)
+
+
+class TestA100Spec:
+    def test_gpc_counts_match_a100(self):
+        assert A100_SPEC.n_gpcs == 8
+        assert A100_SPEC.mig_gpcs == 7
+
+    def test_memory_slices_match_a100(self):
+        assert A100_SPEC.n_mem_slices == 8
+
+    def test_default_power_limit_is_250w(self):
+        assert A100_SPEC.default_power_limit_w == 250.0
+
+    def test_total_sms(self):
+        assert A100_SPEC.total_sms == A100_SPEC.n_gpcs * A100_SPEC.sms_per_gpc
+
+    def test_relative_frequency_bounds(self):
+        assert 0 < A100_SPEC.min_relative_frequency < A100_SPEC.base_relative_frequency <= 1.0
+
+    def test_every_pipe_has_a_throughput(self):
+        for pipe in Pipe:
+            assert A100_SPEC.pipe_tflops[pipe] > 0
+
+    def test_tensor_mixed_is_fastest_float_pipe(self):
+        assert (
+            A100_SPEC.pipe_tflops[Pipe.TENSOR_MIXED]
+            > A100_SPEC.pipe_tflops[Pipe.FP32]
+            > A100_SPEC.pipe_tflops[Pipe.FP64]
+        )
+
+
+class TestDerivedQuantities:
+    def test_pipe_throughput_scales_with_gpcs(self):
+        full = A100_SPEC.pipe_throughput(Pipe.FP32)
+        half = A100_SPEC.pipe_throughput(Pipe.FP32, n_gpcs=4)
+        assert half == pytest.approx(full / 2)
+
+    def test_pipe_throughput_rejects_zero_gpcs(self):
+        with pytest.raises(SpecificationError):
+            A100_SPEC.pipe_throughput(Pipe.FP32, n_gpcs=0)
+
+    def test_pipe_throughput_rejects_too_many_gpcs(self):
+        with pytest.raises(SpecificationError):
+            A100_SPEC.pipe_throughput(Pipe.FP32, n_gpcs=9)
+
+    def test_slice_bandwidth_scales_linearly(self):
+        assert A100_SPEC.slice_bandwidth_gbs(4) == pytest.approx(
+            A100_SPEC.dram_bandwidth_gbs / 2
+        )
+
+    def test_slice_bandwidth_rejects_invalid_counts(self):
+        with pytest.raises(SpecificationError):
+            A100_SPEC.slice_bandwidth_gbs(0)
+        with pytest.raises(SpecificationError):
+            A100_SPEC.slice_bandwidth_gbs(9)
+
+    def test_validate_power_cap_accepts_range(self):
+        assert A100_SPEC.validate_power_cap(150.0) == 150.0
+
+    def test_validate_power_cap_rejects_out_of_range(self):
+        with pytest.raises(PowerCapError):
+            A100_SPEC.validate_power_cap(50.0)
+        with pytest.raises(PowerCapError):
+            A100_SPEC.validate_power_cap(400.0)
+
+    def test_with_overrides_creates_modified_copy(self):
+        modified = A100_SPEC.with_overrides(mig_gpcs=6)
+        assert modified.mig_gpcs == 6
+        assert A100_SPEC.mig_gpcs == 7
+
+
+class TestSpecValidation:
+    def test_rejects_negative_gpcs(self):
+        with pytest.raises(SpecificationError):
+            GPUSpec(n_gpcs=0)
+
+    def test_rejects_mig_gpcs_above_total(self):
+        with pytest.raises(SpecificationError):
+            GPUSpec(mig_gpcs=9)
+
+    def test_rejects_inverted_clocks(self):
+        with pytest.raises(SpecificationError):
+            GPUSpec(min_clock_ghz=2.0, base_clock_ghz=1.0, max_clock_ghz=1.4)
+
+    def test_rejects_inverted_power_caps(self):
+        with pytest.raises(SpecificationError):
+            GPUSpec(min_power_cap_w=300.0, default_power_limit_w=250.0, max_power_cap_w=280.0)
+
+    def test_rejects_negative_power_constant(self):
+        with pytest.raises(SpecificationError):
+            GPUSpec(static_power_w=-1.0)
+
+    def test_rejects_missing_pipe(self):
+        with pytest.raises(SpecificationError):
+            GPUSpec(pipe_tflops={Pipe.FP32: 19.5})
+
+    def test_rejects_low_dvfs_exponent(self):
+        with pytest.raises(SpecificationError):
+            GPUSpec(dvfs_exponent=0.5)

@@ -1,0 +1,109 @@
+"""Tests for the telemetry recorder (nvidia-smi dmon stand-in)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.mig import S1, MemoryOption, solo_state
+from repro.gpu.spec import A100_SPEC
+from repro.gpu.telemetry import TelemetryRecorder, TelemetrySample, TelemetryTrace
+from repro.workloads.pairs import corun_pair
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+@pytest.fixture()
+def recorder():
+    return TelemetryRecorder()
+
+
+@pytest.fixture()
+def solo_result(sim):
+    return sim.solo_run(DEFAULT_SUITE.get("hgemm"), solo_state(7, MemoryOption.SHARED), 200)
+
+
+@pytest.fixture()
+def corun_result(sim):
+    return sim.co_run(list(corun_pair("TI-MI2").kernels()), S1, 230)
+
+
+class TestValidation:
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetrySample(timestamp_s=-1.0, power_w=10, clock_ghz=1.0, busy_gpcs=1, dram_bandwidth_gbs=0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryTrace(samples=(), power_cap_w=250, label="x")
+
+    def test_invalid_recorder_config(self):
+        with pytest.raises(ConfigurationError):
+            TelemetryRecorder(sample_interval_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TelemetryRecorder(ramp_fraction=0.7)
+
+
+class TestSoloTrace:
+    def test_trace_spans_the_run(self, recorder, solo_result):
+        trace = recorder.record_solo(solo_result)
+        assert trace.duration_s == pytest.approx(solo_result.elapsed_s, rel=0.1)
+        assert trace.label.startswith("hgemm")
+
+    def test_power_never_exceeds_cap(self, recorder, solo_result):
+        trace = recorder.record_solo(solo_result)
+        assert trace.cap_violations == 0
+        assert trace.peak_power_w <= solo_result.power_cap_w + 1e-6
+
+    def test_steady_state_power_matches_model(self, recorder, solo_result):
+        trace = recorder.record_solo(solo_result)
+        assert trace.peak_power_w == pytest.approx(
+            min(solo_result.chip_power_w, solo_result.power_cap_w), rel=0.01
+        )
+
+    def test_energy_is_consistent_with_average_power(self, recorder, solo_result):
+        trace = recorder.record_solo(solo_result)
+        assert trace.energy_joules == pytest.approx(
+            trace.average_power_w * trace.duration_s, rel=0.25
+        )
+        assert trace.energy_joules <= solo_result.power_cap_w * solo_result.elapsed_s * 1.05
+
+    def test_throttled_run_reports_throttling(self, recorder, solo_result):
+        trace = recorder.record_solo(solo_result)
+        assert solo_result.relative_frequency < 1.0
+        assert trace.throttled_fraction(A100_SPEC.max_clock_ghz) > 0.5
+
+    def test_unthrottled_run_reports_no_throttling(self, recorder, sim):
+        run = sim.solo_run(DEFAULT_SUITE.get("kmeans"), solo_state(1, MemoryOption.PRIVATE), 250)
+        trace = recorder.record_solo(run)
+        assert trace.throttled_fraction(A100_SPEC.max_clock_ghz) == 0.0
+
+    def test_as_rows_matches_samples(self, recorder, solo_result):
+        trace = recorder.record_solo(solo_result)
+        rows = trace.as_rows()
+        assert len(rows) == len(trace.samples)
+        assert rows[0][0] == trace.samples[0].timestamp_s
+
+
+class TestCoRunAndSequenceTraces:
+    def test_corun_trace_uses_longest_app(self, recorder, corun_result):
+        trace = recorder.record_corun(corun_result)
+        longest = max(run.elapsed_s for run in corun_result.per_app)
+        assert trace.duration_s == pytest.approx(longest, rel=0.1)
+        assert trace.cap_violations == 0
+
+    def test_corun_bandwidth_bounded_by_chip(self, recorder, corun_result):
+        trace = recorder.record_corun(corun_result)
+        assert max(s.dram_bandwidth_gbs for s in trace.samples) <= A100_SPEC.dram_bandwidth_gbs
+
+    def test_sequence_concatenates_runs(self, recorder, sim):
+        runs = [
+            sim.solo_run(DEFAULT_SUITE.get("dgemm"), solo_state(4, MemoryOption.PRIVATE), 250),
+            sim.solo_run(DEFAULT_SUITE.get("stream"), solo_state(3, MemoryOption.SHARED), 250),
+        ]
+        trace = recorder.record_sequence(runs)
+        assert trace.duration_s == pytest.approx(sum(r.elapsed_s for r in runs), rel=0.1)
+        assert trace.label == "sequence"
+
+    def test_sequence_requires_runs(self, recorder):
+        with pytest.raises(ConfigurationError):
+            recorder.record_sequence([])

@@ -1,0 +1,100 @@
+"""Tests for the chip topology / ownership map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitioningError, SpecificationError
+from repro.gpu.spec import A100_SPEC
+from repro.gpu.topology import ChipTopology
+
+
+@pytest.fixture()
+def topology():
+    return ChipTopology(A100_SPEC)
+
+
+class TestInitialState:
+    def test_all_gpcs_present_and_free(self, topology):
+        assert len(topology.gpcs) == A100_SPEC.n_gpcs
+        assert topology.free_gpcs == A100_SPEC.n_gpcs
+
+    def test_all_slices_present_and_free(self, topology):
+        assert len(topology.slices) == A100_SPEC.n_mem_slices
+        assert topology.free_slices == A100_SPEC.n_mem_slices
+
+    def test_slice_resources_partition_the_chip(self, topology):
+        assert sum(s.bandwidth_gbs for s in topology.slices) == pytest.approx(
+            A100_SPEC.dram_bandwidth_gbs
+        )
+        assert sum(s.llc_mb for s in topology.slices) == pytest.approx(A100_SPEC.l2_cache_mb)
+        assert sum(s.hbm_gb for s in topology.slices) == pytest.approx(A100_SPEC.hbm_capacity_gb)
+
+    def test_mig_initially_disabled(self, topology):
+        assert not topology.mig_enabled
+        assert topology.usable_gpcs == A100_SPEC.n_gpcs
+
+
+class TestMigMode:
+    def test_enabling_mig_disables_one_gpc(self, topology):
+        topology.set_mig_mode(True)
+        assert topology.usable_gpcs == A100_SPEC.mig_gpcs
+        assert topology.free_gpcs == A100_SPEC.mig_gpcs
+
+    def test_disabling_mig_restores_gpcs(self, topology):
+        topology.set_mig_mode(True)
+        topology.set_mig_mode(False)
+        assert topology.usable_gpcs == A100_SPEC.n_gpcs
+
+    def test_toggle_is_idempotent(self, topology):
+        topology.set_mig_mode(True)
+        topology.set_mig_mode(True)
+        assert topology.usable_gpcs == A100_SPEC.mig_gpcs
+
+    def test_cannot_toggle_with_owned_resources(self, topology):
+        topology.set_mig_mode(True)
+        topology.claim_gpcs(owner=1, count=2)
+        with pytest.raises(PartitioningError):
+            topology.set_mig_mode(False)
+
+
+class TestAllocation:
+    def test_claim_assigns_ownership(self, topology):
+        claimed = topology.claim_gpcs(owner=7, count=3)
+        assert len(claimed) == 3
+        assert all(g.owner == 7 for g in claimed)
+        assert topology.free_gpcs == A100_SPEC.n_gpcs - 3
+
+    def test_claim_slices(self, topology):
+        topology.claim_slices(owner=7, count=4)
+        assert topology.free_slices == A100_SPEC.n_mem_slices - 4
+        assert len(topology.owned_slices(7)) == 4
+
+    def test_over_allocation_rejected(self, topology):
+        with pytest.raises(PartitioningError):
+            topology.claim_gpcs(owner=1, count=A100_SPEC.n_gpcs + 1)
+
+    def test_zero_count_rejected(self, topology):
+        with pytest.raises(SpecificationError):
+            topology.claim_gpcs(owner=1, count=0)
+
+    def test_release_owner_frees_everything(self, topology):
+        topology.claim_gpcs(owner=3, count=4)
+        topology.claim_slices(owner=3, count=4)
+        topology.release_owner(3)
+        assert topology.free_gpcs == A100_SPEC.n_gpcs
+        assert topology.free_slices == A100_SPEC.n_mem_slices
+
+    def test_release_only_affects_one_owner(self, topology):
+        topology.claim_gpcs(owner=1, count=2)
+        topology.claim_gpcs(owner=2, count=2)
+        topology.release_owner(1)
+        assert len(topology.owned_gpcs(2)) == 2
+        assert topology.free_gpcs == A100_SPEC.n_gpcs - 2
+
+    def test_reset_clears_all_ownership(self, topology):
+        topology.claim_gpcs(owner=1, count=2)
+        topology.claim_slices(owner=1, count=2)
+        topology.reset()
+        assert topology.free_gpcs == A100_SPEC.n_gpcs
+        assert topology.free_slices == A100_SPEC.n_mem_slices

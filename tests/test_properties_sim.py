@@ -1,0 +1,103 @@
+"""Property-based tests for the execution simulator's physical invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.mig import CORUN_STATES, MemoryOption, VALID_INSTANCE_SIZES, solo_state
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.noise import no_noise
+from repro.workloads.suite import DEFAULT_SUITE
+from repro.workloads.synthetic import SyntheticWorkloadGenerator
+
+_SIM = PerformanceSimulator(noise=no_noise())
+_GENERATOR = SyntheticWorkloadGenerator(seed=11)
+_KERNEL_POOL = list(DEFAULT_SUITE.all()) + list(_GENERATOR.sample(12))
+
+kernel_strategy = st.sampled_from(_KERNEL_POOL)
+gpcs_strategy = st.sampled_from(VALID_INSTANCE_SIZES)
+option_strategy = st.sampled_from([MemoryOption.PRIVATE, MemoryOption.SHARED])
+cap_strategy = st.sampled_from([150.0, 170.0, 190.0, 210.0, 230.0, 250.0])
+state_strategy = st.sampled_from(CORUN_STATES)
+
+
+@given(kernel_strategy, gpcs_strategy, option_strategy, cap_strategy)
+@settings(max_examples=80, deadline=None)
+def test_solo_relative_performance_bounded(kernel, gpcs, option, cap):
+    """A partitioned, capped run can never beat the exclusive full-GPU run by
+    more than a small margin (the margin exists because the reference run may
+    itself be power-throttled while a small partition is not)."""
+    run = _SIM.solo_run(kernel, solo_state(gpcs, option), cap)
+    assert 0.0 < run.relative_performance <= 1.25
+    assert run.chip_power_w <= cap + 1e-6
+    assert 0.0 < run.relative_frequency <= 1.0
+
+
+@given(kernel_strategy, option_strategy, cap_strategy)
+@settings(max_examples=40, deadline=None)
+def test_solo_performance_monotonic_in_gpcs(kernel, option, cap):
+    """More GPCs never hurt (for the private option the slice count also
+    grows monotonically with the GPC count)."""
+    values = [
+        _SIM.solo_run(kernel, solo_state(g, option), cap).relative_performance
+        for g in (1, 2, 3, 4, 7)
+    ]
+    for smaller, larger in zip(values, values[1:]):
+        assert larger >= smaller - 1e-6
+
+
+@given(kernel_strategy, gpcs_strategy, option_strategy)
+@settings(max_examples=40, deadline=None)
+def test_solo_performance_monotonic_in_power(kernel, gpcs, option):
+    """A higher power cap never hurts."""
+    values = [
+        _SIM.solo_run(kernel, solo_state(gpcs, option), cap).relative_performance
+        for cap in (150.0, 190.0, 230.0, 250.0)
+    ]
+    for lower, higher in zip(values, values[1:]):
+        assert higher >= lower - 1e-6
+
+
+@given(st.sampled_from(_KERNEL_POOL), st.sampled_from(_KERNEL_POOL), state_strategy, cap_strategy)
+@settings(max_examples=60, deadline=None)
+def test_corun_invariants(kernel_a, kernel_b, state, cap):
+    """Co-run invariants: metric definitions, fairness <= min share, power cap
+    respected, total bandwidth bounded by the chip peak."""
+    result = _SIM.co_run([kernel_a, kernel_b], state, cap)
+    assert result.weighted_speedup == sum(result.relative_performances)
+    assert result.fairness == min(result.relative_performances)
+    assert result.fairness <= result.weighted_speedup / 2 + 1e-9
+    assert result.chip_power_w <= cap + 1e-6
+    total_bw = sum(r.achieved_bandwidth_gbs for r in result.per_app)
+    assert total_bw <= _SIM.spec.dram_bandwidth_gbs * 1.01
+    for run in result.per_app:
+        assert 0.0 < run.relative_performance <= 1.25
+
+
+@given(st.sampled_from(_KERNEL_POOL), st.sampled_from(_KERNEL_POOL), cap_strategy)
+@settings(max_examples=40, deadline=None)
+def test_corun_app_never_beats_its_solo_run_on_same_partition(kernel_a, kernel_b, cap):
+    """Adding a co-runner can only hurt (or leave unchanged) each application
+    compared to running alone on the same partition slice."""
+    state = CORUN_STATES[0]  # S1: shared, 4+3
+    corun = _SIM.co_run([kernel_a, kernel_b], state, cap)
+    solo_a = _SIM.solo_run(kernel_a, solo_state(4, MemoryOption.SHARED), cap)
+    solo_b = _SIM.solo_run(kernel_b, solo_state(3, MemoryOption.SHARED), cap)
+    assert corun.per_app[0].relative_performance <= solo_a.relative_performance + 1e-6
+    assert corun.per_app[1].relative_performance <= solo_b.relative_performance + 1e-6
+
+
+@given(st.sampled_from(_KERNEL_POOL), state_strategy, cap_strategy)
+@settings(max_examples=30, deadline=None)
+def test_swapping_applications_swaps_results(kernel, state, cap):
+    """Running (A, B) under S and (B, A) under the swapped state is symmetric."""
+    other = DEFAULT_SUITE.get("stream")
+    forward = _SIM.co_run([kernel, other], state, cap)
+    backward = _SIM.co_run([other, kernel], state.swapped(), cap)
+    assert forward.per_app[0].relative_performance == (
+        backward.per_app[1].relative_performance
+    )
+    assert forward.per_app[1].relative_performance == (
+        backward.per_app[0].relative_performance
+    )

@@ -1,0 +1,103 @@
+"""Tests for the LLC/HBM interference model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.interference import InterferenceModel, InterferenceParams, NoInterference
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+@pytest.fixture()
+def model():
+    return InterferenceModel()
+
+
+class TestParams:
+    def test_defaults_are_positive(self):
+        params = InterferenceParams()
+        assert params.compute_l2_alpha > 0
+        assert params.memory_l2_alpha > 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterferenceParams(compute_l2_alpha=5.0)
+        with pytest.raises(ConfigurationError):
+            InterferenceParams(memory_l2_alpha=-0.1)
+
+
+class TestCachePressure:
+    def test_streaming_kernel_exerts_high_pressure(self, model):
+        assert model.cache_pressure(DEFAULT_SUITE.get("stream")) > 0.8
+
+    def test_small_footprint_kernel_exerts_less_pressure(self, model):
+        gemm = model.cache_pressure(DEFAULT_SUITE.get("hgemm"))
+        stream = model.cache_pressure(DEFAULT_SUITE.get("stream"))
+        assert gemm < stream
+
+    def test_pressure_bounded(self, model):
+        for name in DEFAULT_SUITE.names():
+            assert 0.0 <= model.cache_pressure(DEFAULT_SUITE.get(name)) <= 1.0
+
+
+class TestPenalties:
+    def test_no_corunners_means_no_penalty(self, model):
+        kernel = DEFAULT_SUITE.get("srad")
+        assert model.compute_penalty(kernel, []) == 1.0
+        assert model.memory_penalty(kernel, []) == 1.0
+
+    def test_penalties_are_at_least_one(self, model):
+        kernel = DEFAULT_SUITE.get("srad")
+        others = [DEFAULT_SUITE.get("stream")]
+        assert model.compute_penalty(kernel, others) >= 1.0
+        assert model.memory_penalty(kernel, others) >= 1.0
+
+    def test_sensitive_kernel_penalized_more(self, model):
+        others = [DEFAULT_SUITE.get("needle")]
+        sensitive = model.compute_penalty(DEFAULT_SUITE.get("srad"), others)
+        insensitive = model.compute_penalty(DEFAULT_SUITE.get("stream"), others)
+        assert sensitive > insensitive
+
+    def test_penalty_uses_worst_corunner(self, model):
+        kernel = DEFAULT_SUITE.get("srad")
+        mild = [DEFAULT_SUITE.get("hgemm")]
+        harsh = [DEFAULT_SUITE.get("hgemm"), DEFAULT_SUITE.get("stream")]
+        assert model.compute_penalty(kernel, harsh) >= model.compute_penalty(kernel, mild)
+
+
+class TestBandwidthSharing:
+    def test_under_subscription_returns_demands(self, model):
+        shares = model.share_bandwidth([300.0, 200.0], capacity_gbs=1000.0)
+        assert shares == (300.0, 200.0)
+
+    def test_over_subscription_scales_proportionally(self, model):
+        shares = model.share_bandwidth([900.0, 300.0], capacity_gbs=600.0)
+        assert sum(shares) == pytest.approx(600.0)
+        assert shares[0] / shares[1] == pytest.approx(3.0)
+
+    def test_zero_demand_handled(self, model):
+        shares = model.share_bandwidth([0.0, 0.0], capacity_gbs=100.0)
+        assert shares == (0.0, 0.0)
+
+    def test_negative_demand_clamped(self, model):
+        shares = model.share_bandwidth([-5.0, 50.0], capacity_gbs=100.0)
+        assert shares[0] == 0.0
+
+    def test_invalid_capacity_rejected(self, model):
+        with pytest.raises(SimulationError):
+            model.share_bandwidth([10.0], capacity_gbs=0.0)
+
+
+class TestNoInterference:
+    def test_penalties_disabled(self):
+        model = NoInterference()
+        kernel = DEFAULT_SUITE.get("srad")
+        others = [DEFAULT_SUITE.get("stream")]
+        assert model.compute_penalty(kernel, others) == 1.0
+        assert model.memory_penalty(kernel, others) == 1.0
+
+    def test_bandwidth_arbitration_still_applies(self):
+        model = NoInterference()
+        shares = model.share_bandwidth([900.0, 900.0], capacity_gbs=900.0)
+        assert sum(shares) == pytest.approx(900.0)

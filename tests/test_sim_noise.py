@@ -1,0 +1,72 @@
+"""Tests for the deterministic measurement-noise model."""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.noise import NoiseModel, no_noise
+
+
+def test_negative_sigma_rejected():
+    with pytest.raises(ConfigurationError):
+        NoiseModel(sigma=-0.1)
+
+
+def test_zero_sigma_is_identity():
+    model = NoiseModel(sigma=0.0)
+    assert model.multiplier(("a", 1)) == 1.0
+    assert model.apply(3.14, ("a", 1)) == 3.14
+
+
+def test_no_noise_helper():
+    assert no_noise().sigma == 0.0
+
+
+def test_same_key_same_multiplier():
+    model = NoiseModel(sigma=0.05, seed=1)
+    key = ("stream", (4, 3), 250.0)
+    assert model.multiplier(key) == model.multiplier(key)
+
+
+def test_different_keys_differ():
+    model = NoiseModel(sigma=0.05, seed=1)
+    assert model.multiplier(("a",)) != model.multiplier(("b",))
+
+
+def test_different_seeds_differ():
+    key = ("stream", 250.0)
+    assert NoiseModel(sigma=0.05, seed=1).multiplier(key) != NoiseModel(
+        sigma=0.05, seed=2
+    ).multiplier(key)
+
+
+def test_multiplier_is_positive_and_bounded():
+    model = NoiseModel(sigma=0.03)
+    for i in range(200):
+        multiplier = model.multiplier(("key", i))
+        assert multiplier > 0
+        # 3-sigma clipping bounds the multiplier.
+        assert math.exp(-0.09 - 1e-9) <= multiplier <= math.exp(0.09 + 1e-9)
+
+
+def test_distribution_is_roughly_centered():
+    model = NoiseModel(sigma=0.05)
+    draws = [math.log(model.multiplier(("sample", i))) for i in range(500)]
+    assert abs(statistics.mean(draws)) < 0.01
+    assert 0.03 < statistics.stdev(draws) < 0.07
+
+
+def test_apply_scales_value():
+    model = NoiseModel(sigma=0.05, seed=3)
+    key = ("x",)
+    assert model.apply(10.0, key) == pytest.approx(10.0 * model.multiplier(key))
+
+
+def test_sigma_and_seed_exposed():
+    model = NoiseModel(sigma=0.02, seed=99)
+    assert model.sigma == 0.02
+    assert model.seed == 99

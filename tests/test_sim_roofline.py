@@ -1,0 +1,86 @@
+"""Tests for the roofline time composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpu.spec import A100_SPEC
+from repro.sim.roofline import TimeComponents, bound_of, elapsed_time, scale_components
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+class TestTimeComponents:
+    def test_negative_component_rejected(self):
+        with pytest.raises(SimulationError):
+            TimeComponents(-0.1, 0.2, 0.0)
+
+    def test_elapsed_is_max_plus_serial(self):
+        components = TimeComponents(0.8, 0.3, 0.1)
+        assert elapsed_time(components) == pytest.approx(0.9)
+
+    def test_memory_bound_elapsed(self):
+        components = TimeComponents(0.2, 0.9, 0.05)
+        assert elapsed_time(components) == pytest.approx(0.95)
+
+
+class TestBoundClassification:
+    def test_compute_bound(self):
+        assert bound_of(TimeComponents(0.9, 0.2, 0.01)) == "compute"
+
+    def test_memory_bound(self):
+        assert bound_of(TimeComponents(0.2, 0.9, 0.01)) == "memory"
+
+    def test_serial_bound(self):
+        assert bound_of(TimeComponents(0.01, 0.02, 0.9)) == "serial"
+
+
+class TestScaling:
+    @pytest.fixture()
+    def kernel(self):
+        return DEFAULT_SUITE.get("dgemm")
+
+    def test_compute_scales_with_gpcs(self, kernel):
+        full = scale_components(kernel, A100_SPEC, gpcs=8, bandwidth_fraction=1.0, relative_frequency=1.0)
+        half = scale_components(kernel, A100_SPEC, gpcs=4, bandwidth_fraction=1.0, relative_frequency=1.0)
+        assert half.compute_s == pytest.approx(2 * full.compute_s)
+        assert half.memory_s == pytest.approx(full.memory_s)
+        assert half.serial_s == pytest.approx(full.serial_s)
+
+    def test_compute_scales_with_frequency(self, kernel):
+        fast = scale_components(kernel, A100_SPEC, 8, 1.0, 1.0)
+        slow = scale_components(kernel, A100_SPEC, 8, 1.0, 0.5)
+        assert slow.compute_s == pytest.approx(2 * fast.compute_s)
+        assert slow.memory_s == pytest.approx(fast.memory_s)
+
+    def test_memory_scales_with_bandwidth(self, kernel):
+        full = scale_components(kernel, A100_SPEC, 8, 1.0, 1.0)
+        half = scale_components(kernel, A100_SPEC, 8, 0.5, 1.0)
+        assert half.memory_s == pytest.approx(2 * full.memory_s)
+        assert half.compute_s == pytest.approx(full.compute_s)
+
+    def test_penalties_inflate_components(self, kernel):
+        base = scale_components(kernel, A100_SPEC, 8, 1.0, 1.0)
+        penalized = scale_components(
+            kernel, A100_SPEC, 8, 1.0, 1.0, compute_penalty=1.2, memory_penalty=1.5
+        )
+        assert penalized.compute_s == pytest.approx(1.2 * base.compute_s)
+        assert penalized.memory_s == pytest.approx(1.5 * base.memory_s)
+
+    def test_invalid_gpcs_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            scale_components(kernel, A100_SPEC, 0, 1.0, 1.0)
+        with pytest.raises(SimulationError):
+            scale_components(kernel, A100_SPEC, 9, 1.0, 1.0)
+
+    def test_invalid_bandwidth_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            scale_components(kernel, A100_SPEC, 8, 0.0, 1.0)
+
+    def test_invalid_frequency_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            scale_components(kernel, A100_SPEC, 8, 1.0, 0.0)
+
+    def test_penalties_below_one_rejected(self, kernel):
+        with pytest.raises(SimulationError):
+            scale_components(kernel, A100_SPEC, 8, 1.0, 1.0, compute_penalty=0.9)

@@ -1,0 +1,69 @@
+"""Tests for the sweep helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gpu.mig import CORUN_STATES, MemoryOption
+from repro.sim.sweep import (
+    corun_sweep,
+    group_points_by_option,
+    group_points_by_power,
+    scalability_power_sweep,
+    scalability_sweep,
+)
+from repro.workloads.pairs import corun_pair
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+class TestScalabilitySweep:
+    def test_covers_both_options_and_all_sizes(self, sim):
+        points = scalability_sweep(sim, DEFAULT_SUITE.get("dgemm"))
+        assert len(points) == 2 * 5
+        assert {p.option for p in points} == {MemoryOption.PRIVATE, MemoryOption.SHARED}
+        assert {p.gpcs for p in points} == {1, 2, 3, 4, 7}
+
+    def test_points_carry_power_cap(self, sim):
+        points = scalability_sweep(sim, DEFAULT_SUITE.get("dgemm"), power_cap_w=190)
+        assert all(p.power_cap_w == 190 for p in points)
+
+    def test_custom_gpc_counts(self, sim):
+        points = scalability_sweep(sim, DEFAULT_SUITE.get("stream"), gpc_counts=(1, 7))
+        assert {p.gpcs for p in points} == {1, 7}
+
+    def test_group_by_option(self, sim):
+        points = scalability_sweep(sim, DEFAULT_SUITE.get("stream"))
+        grouped = group_points_by_option(points)
+        assert set(grouped) == {MemoryOption.PRIVATE, MemoryOption.SHARED}
+        for curve in grouped.values():
+            assert [p.gpcs for p in curve] == sorted(p.gpcs for p in curve)
+
+
+class TestPowerSweep:
+    def test_covers_all_caps(self, sim):
+        points = scalability_power_sweep(sim, DEFAULT_SUITE.get("hgemm"), power_caps=(150, 250))
+        assert {p.power_cap_w for p in points} == {150, 250}
+        assert all(p.option is MemoryOption.SHARED for p in points)
+
+    def test_group_by_power(self, sim):
+        points = scalability_power_sweep(sim, DEFAULT_SUITE.get("hgemm"), power_caps=(150, 250))
+        grouped = group_points_by_power(points)
+        assert set(grouped) == {150, 250}
+        assert len(grouped[150]) == 5
+
+
+class TestCoRunSweep:
+    def test_grid_shape(self, sim):
+        kernels = list(corun_pair("CI-US2").kernels())
+        grid = corun_sweep(sim, kernels, power_caps=(150, 250))
+        assert len(grid) == len(CORUN_STATES) * 2
+        for (state_key, cap), result in grid.items():
+            assert result.state.key() == state_key
+            assert result.power_cap_w == cap
+
+    def test_results_are_corun_results(self, sim):
+        kernels = list(corun_pair("CI-US2").kernels())
+        grid = corun_sweep(sim, kernels, states=(CORUN_STATES[0],), power_caps=(250,))
+        result = next(iter(grid.values()))
+        assert result.n_apps == 2
+        assert result.weighted_speedup > 0

@@ -1,0 +1,79 @@
+"""Tests for the synthetic workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.classification import classify_kernel
+from repro.workloads.kernel import WorkloadClass
+from repro.workloads.synthetic import SyntheticWorkloadGenerator
+
+
+def test_sample_produces_requested_count():
+    generator = SyntheticWorkloadGenerator(seed=1)
+    kernels = generator.sample(8)
+    assert len(kernels) == 8
+
+
+def test_sample_rejects_negative_count():
+    with pytest.raises(WorkloadError):
+        SyntheticWorkloadGenerator().sample(-1)
+
+
+def test_names_are_unique():
+    generator = SyntheticWorkloadGenerator(seed=2)
+    names = [k.name for k in generator.sample(12)]
+    assert len(set(names)) == 12
+
+
+def test_same_seed_reproduces_same_kernels():
+    first = SyntheticWorkloadGenerator(seed=42).sample(6)
+    second = SyntheticWorkloadGenerator(seed=42).sample(6)
+    for a, b in zip(first, second):
+        assert a.compute_time_full_s == b.compute_time_full_s
+        assert a.memory_time_full_s == b.memory_time_full_s
+
+
+def test_different_seeds_differ():
+    first = SyntheticWorkloadGenerator(seed=1).sample(4)
+    second = SyntheticWorkloadGenerator(seed=2).sample(4)
+    assert any(
+        a.compute_time_full_s != b.compute_time_full_s for a, b in zip(first, second)
+    )
+
+
+def test_explicit_name_is_used():
+    kernel = SyntheticWorkloadGenerator().sample_class(WorkloadClass.CI, name="custom")
+    assert kernel.name == "custom"
+
+
+@pytest.mark.parametrize("workload_class", list(WorkloadClass))
+def test_sampled_kernels_classify_as_requested(sim, workload_class):
+    """Synthetic kernels should land in the class they were sampled from."""
+    generator = SyntheticWorkloadGenerator(seed=7)
+    matches = 0
+    trials = 5
+    for _ in range(trials):
+        kernel = generator.sample_class(workload_class)
+        report = classify_kernel(kernel, sim)
+        if report.workload_class is workload_class:
+            matches += 1
+    # Sampling ranges target the class but boundaries are probabilistic;
+    # require a clear majority rather than perfection.
+    assert matches >= trials - 1
+
+
+def test_tensor_kernels_only_in_ti_class():
+    generator = SyntheticWorkloadGenerator(seed=3)
+    ti = generator.sample_class(WorkloadClass.TI)
+    ci = generator.sample_class(WorkloadClass.CI)
+    assert ti.uses_tensor_cores
+    assert not ci.uses_tensor_cores
+
+
+def test_sample_pairs_returns_tuples():
+    pairs = SyntheticWorkloadGenerator(seed=5).sample_pairs(3)
+    assert len(pairs) == 3
+    for first, second in pairs:
+        assert first.name != second.name
