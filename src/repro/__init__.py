@@ -45,8 +45,11 @@ from repro.core import (
 )
 from repro.gpu import (
     A100_SPEC,
+    A30_SPEC,
     CORUN_STATES,
+    GPU_SPECS,
     GPUSpec,
+    H100_SPEC,
     MemoryOption,
     MIGManager,
     PartitionState,
@@ -55,14 +58,18 @@ from repro.gpu import (
     S3,
     S4,
     SimulatedSMI,
+    enumerate_partition_states,
     solo_state,
+    spec_by_name,
 )
 from repro.profiling import ProfileCollector, ProfileDatabase, ProfileRecord
 from repro.sim import CoRunResult, NoiseModel, PerformanceSimulator, RunResult
 from repro.workloads import (
+    CORUN_GROUPS,
     CORUN_PAIRS,
     DEFAULT_SUITE,
     BenchmarkSuite,
+    CoRunGroup,
     KernelCharacteristics,
     WorkloadClass,
     get_kernel,
@@ -77,6 +84,10 @@ __all__ = [
     # GPU substrate
     "GPUSpec",
     "A100_SPEC",
+    "H100_SPEC",
+    "A30_SPEC",
+    "GPU_SPECS",
+    "spec_by_name",
     "MemoryOption",
     "PartitionState",
     "MIGManager",
@@ -86,6 +97,7 @@ __all__ = [
     "S2",
     "S3",
     "S4",
+    "enumerate_partition_states",
     "solo_state",
     # Workloads
     "KernelCharacteristics",
@@ -93,6 +105,8 @@ __all__ = [
     "BenchmarkSuite",
     "DEFAULT_SUITE",
     "CORUN_PAIRS",
+    "CORUN_GROUPS",
+    "CoRunGroup",
     "get_kernel",
     # Simulator
     "PerformanceSimulator",

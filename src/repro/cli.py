@@ -7,8 +7,11 @@ workflow would be driven in a deployment:
 * ``repro-cli classify`` — run the Table 7 classification rule;
 * ``repro-cli scalability KERNEL`` — the Figure 4/5 scalability curves for
   one benchmark;
-* ``repro-cli decide APP1 APP2`` — train the model and print the best
-  partition state / power cap for a pair (Problem 1 or Problem 2);
+* ``repro-cli decide APP [APP ...]`` — train the model and print the best
+  partition state / power cap for a co-location group of any size
+  (Problem 1 or Problem 2), optionally on a non-A100 ``--spec``;
+* ``repro-cli states N`` — enumerate the realizable N-application
+  partition states of a GPU spec;
 * ``repro-cli accuracy`` — the Section 5.2.1 model-error statistic;
 * ``repro-cli figure N`` — regenerate the data behind one of the paper's
   figures (4, 5, 6, 8, 9, 10, 11, 12 or 13).
@@ -39,6 +42,8 @@ from repro.analysis.report import (
 from repro.analysis.tables import table7_classification
 from repro.config import DEFAULT_POWER_CAPS
 from repro.errors import ReproError
+from repro.gpu.mig import enumerate_partition_states
+from repro.gpu.spec import GPU_SPECS, spec_by_name
 from repro.sim.engine import PerformanceSimulator
 from repro.sim.sweep import scalability_power_sweep, scalability_sweep
 from repro.workloads.classification import EXPECTED_CLASSIFICATION
@@ -65,12 +70,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sweep the power cap (Figure 5 style) instead of the memory option",
     )
 
-    decide = subparsers.add_parser("decide", help="best partition/power for an application pair")
-    decide.add_argument("app1", help="first application (gets the larger partition under S1/S3)")
-    decide.add_argument("app2", help="second application")
+    decide = subparsers.add_parser(
+        "decide", help="best partition/power for a co-location group of applications"
+    )
+    decide.add_argument(
+        "apps",
+        nargs="+",
+        metavar="APP",
+        help="application names in allocation order (two reproduce the paper's pairs; "
+        "more enable N-way co-location)",
+    )
     decide.add_argument("--policy", choices=("problem1", "problem2"), default="problem1")
-    decide.add_argument("--power-cap", type=float, default=230.0, help="power cap for Problem 1")
+    decide.add_argument(
+        "--power-cap", type=float, default=None, help="power cap for Problem 1 (default: spec grid's 92%% point)"
+    )
     decide.add_argument("--alpha", type=float, default=0.2, help="fairness threshold")
+    decide.add_argument(
+        "--spec",
+        choices=sorted(GPU_SPECS),
+        default="a100",
+        help="hardware specification to simulate and optimize for",
+    )
+
+    states = subparsers.add_parser(
+        "states", help="enumerate the realizable N-application partition states"
+    )
+    states.add_argument("n_apps", type=int, help="number of co-located applications")
+    states.add_argument(
+        "--spec",
+        choices=sorted(GPU_SPECS),
+        default="a100",
+        help="hardware specification to enumerate for",
+    )
 
     subparsers.add_parser("accuracy", help="average model error across the evaluation grid")
 
@@ -130,14 +161,28 @@ def _cmd_scalability(args: argparse.Namespace, out: Callable[[str], None]) -> in
 
 
 def _cmd_decide(args: argparse.Namespace, out: Callable[[str], None]) -> int:
-    from repro.core.workflow import PaperWorkflow
+    from repro.core.workflow import PaperWorkflow, TrainingPlan, power_caps_for_spec
 
-    workflow = PaperWorkflow()
-    workflow.train()
-    if args.policy == "problem1":
-        decision = workflow.decide_problem1([args.app1, args.app2], args.power_cap, args.alpha)
+    spec = spec_by_name(args.spec)
+    needs_general_grid = args.spec != "a100" or len(args.apps) != 2
+    if needs_general_grid:
+        # N-way groups and non-A100 specs need coefficients for the whole
+        # instance-size grid, not just the S1-S4 keys of Table 5.
+        caps = power_caps_for_spec(spec)
+        workflow = PaperWorkflow(
+            simulator=PerformanceSimulator(spec),
+            plan=TrainingPlan.for_spec(spec, power_caps=caps),
+            power_caps=caps,
+        )
     else:
-        decision = workflow.decide_problem2([args.app1, args.app2], args.alpha)
+        caps = tuple(DEFAULT_POWER_CAPS)
+        workflow = PaperWorkflow()
+    workflow.train()
+    power_cap = args.power_cap if args.power_cap is not None else caps[-2]
+    if args.policy == "problem1":
+        decision = workflow.decide_problem1(args.apps, power_cap, args.alpha)
+    else:
+        decision = workflow.decide_problem2(args.apps, args.alpha)
     out(decision.describe())
     out("")
     rows = [
@@ -152,6 +197,23 @@ def _cmd_decide(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         for e in decision.evaluations
     ]
     out(ascii_table(["state", "P[W]", "throughput", "fairness", "objective", "feasible"], rows))
+    return 0
+
+
+def _cmd_states(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    spec = spec_by_name(args.spec)
+    states = tuple(enumerate_partition_states(args.n_apps, spec))
+    rows = [
+        (
+            state.describe(),
+            state.option.value,
+            state.total_gpcs,
+            "-".join(str(a.mem_slices) for a in state.allocations(spec)),
+        )
+        for state in states
+    ]
+    out(ascii_table(["state", "option", "GPCs", "mem slices/app"], rows))
+    out(f"\n{len(states)} realizable state(s) for {args.n_apps} application(s) on {spec.name}")
     return 0
 
 
@@ -210,6 +272,7 @@ _COMMANDS = {
     "classify": _cmd_classify,
     "scalability": _cmd_scalability,
     "decide": _cmd_decide,
+    "states": _cmd_states,
     "accuracy": _cmd_accuracy,
     "figure": _cmd_figure,
 }

@@ -41,7 +41,11 @@ class Job:
     assigned_device:
         UUID of the MIG Compute Instance the job was launched on, if any.
     co_runner:
-        ``job_id`` of the job it was co-scheduled with, if any.
+        ``job_id`` of the first job it was co-scheduled with, if any (kept
+        for pair-era compatibility; see ``co_runners``).
+    co_runners:
+        ``job_id`` of every job sharing the GPU in the same co-location
+        group (empty for exclusive runs).
     """
 
     job_id: int
@@ -52,6 +56,7 @@ class Job:
     finish_time: float | None = None
     assigned_device: str | None = None
     co_runner: int | None = None
+    co_runners: tuple[int, ...] = ()
     history: list[str] = field(default_factory=list)
 
     @property

@@ -60,9 +60,14 @@ class JobManager:
         n_nodes: int = 1,
         scheduler_config: SchedulerConfig | None = None,
     ) -> "JobManager":
-        """Build a manager whose nodes share the workflow's simulator."""
+        """Build a manager whose nodes share the workflow's simulator and spec."""
         nodes = [
-            ComputeNode(node_id=i, simulator=workflow.simulator) for i in range(n_nodes)
+            ComputeNode(
+                node_id=i,
+                spec=workflow.simulator.spec,
+                simulator=workflow.simulator,
+            )
+            for i in range(n_nodes)
         ]
         return cls(
             allocator=workflow.online,

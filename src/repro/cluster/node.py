@@ -63,13 +63,13 @@ class ComputeNode:
         self._current_state = None
 
     # ------------------------------------------------------------------
-    def execute_pair(
+    def execute_group(
         self,
         kernels,
         state: PartitionState,
         power_cap_w: float,
     ) -> CoRunResult:
-        """Run a co-located pair to completion and return the measured result."""
+        """Run a co-located group (N >= 1) to completion and return the result."""
         if self.simulator is None:  # pragma: no cover - defensive
             raise SchedulingError("node has no simulator attached")
         self.configure(state, power_cap_w)
@@ -77,6 +77,15 @@ class ComputeNode:
             return self.simulator.co_run(list(kernels), state, power_cap_w)
         finally:
             self.release()
+
+    def execute_pair(
+        self,
+        kernels,
+        state: PartitionState,
+        power_cap_w: float,
+    ) -> CoRunResult:
+        """Run a co-located pair (the N=2 special case of :meth:`execute_group`)."""
+        return self.execute_group(kernels, state, power_cap_w)
 
     def execute_exclusive(self, kernel) -> float:
         """Run one job exclusively (full GPU, default cap); returns its runtime."""

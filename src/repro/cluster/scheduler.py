@@ -1,11 +1,13 @@
-"""The co-scheduler: pair selection, profile runs, and dispatch.
+"""The co-scheduler: group selection, profile runs, and dispatch.
 
 The scheduler pulls the head job from the queue, searches a bounded
 look-ahead window for the co-location partner that maximizes the predicted
 objective, asks the Resource & Power Allocator for the partition state and
-power cap, and dispatches the pair to a free node.  Jobs whose application
-has never been profiled run exclusively first (the paper's profile-run
-rule).
+power cap, and dispatches the group to a free node.  When ``group_size``
+allows more than two jobs the pair is greedily extended with further window
+jobs for as long as doing so improves the predicted objective.  Jobs whose
+application has never been profiled run exclusively first (the paper's
+profile-run rule).
 """
 
 from __future__ import annotations
@@ -16,9 +18,9 @@ from repro.cluster.job import Job, JobState
 from repro.cluster.node import ComputeNode
 from repro.cluster.queue import JobQueue
 from repro.core.decision import AllocationDecision
-from repro.core.policies import Policy, Problem1Policy, Problem2Policy
+from repro.core.policies import POLICY_NAMES, Policy, make_policy
 from repro.core.workflow import OnlineAllocator
-from repro.errors import InfeasibleProblemError, SchedulingError
+from repro.errors import ConfigurationError, InfeasibleProblemError, SchedulingError
 
 
 @dataclass(frozen=True)
@@ -28,10 +30,14 @@ class SchedulerConfig:
     Attributes
     ----------
     window_size:
-        How many queued jobs may be inspected when looking for a partner.
+        How many queued jobs may be inspected when looking for partners.
+    group_size:
+        Maximum number of jobs co-located on one GPU (2 reproduces the
+        paper's pair scheduling exactly; larger values enable N-way groups
+        when the allocator's model supports them).
     policy_name:
         ``"problem1"`` (throughput at a fixed cap) or ``"problem2"``
-        (energy efficiency, cap chosen per pair).
+        (energy efficiency, cap chosen per group).
     power_cap_w:
         The fixed cap used by Problem 1.
     alpha:
@@ -42,10 +48,29 @@ class SchedulerConfig:
     """
 
     window_size: int = 4
+    group_size: int = 2
     policy_name: str = "problem2"
     power_cap_w: float = 230.0
     alpha: float = 0.2
     allow_solo: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ConfigurationError(
+                f"window_size must be >= 1, got {self.window_size}"
+            )
+        if self.group_size < 1:
+            raise ConfigurationError(f"group_size must be >= 1, got {self.group_size}")
+        if self.policy_name.lower() not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"unknown policy {self.policy_name!r}; valid names: {POLICY_NAMES}"
+            )
+        if self.power_cap_w <= 0:
+            raise ConfigurationError(
+                f"power_cap_w must be positive, got {self.power_cap_w}"
+            )
+        if not (0.0 <= self.alpha < 1.0):
+            raise ConfigurationError(f"alpha must be in [0, 1), got {self.alpha}")
 
 
 @dataclass(frozen=True)
@@ -58,7 +83,7 @@ class DispatchPlan:
 
 
 class CoScheduler:
-    """Pair selection and dispatch driven by the allocator's predictions."""
+    """Group selection and dispatch driven by the allocator's predictions."""
 
     def __init__(
         self,
@@ -68,6 +93,33 @@ class CoScheduler:
         self._allocator = allocator
         self._config = config if config is not None else SchedulerConfig()
 
+    def _validate_policy_against_model(self) -> None:
+        """Fail loudly when the configured policy caps are off the model's grid.
+
+        Otherwise every decide() call would raise InfeasibleProblemError,
+        which plan_next treats as "this candidate is infeasible" — the
+        cluster would silently never co-schedule anything.  Runs per
+        plan_next (cheap: the state lookup is cached), not at construction,
+        so a scheduler may be wired up before its model is trained.
+        """
+        if self._config.group_size < 2:
+            return  # co-location disabled; the cap is never used
+        policy = self._policy()
+        caps = policy.candidate_power_caps()
+        if self._allocator.candidate_states_for(2, caps):
+            return
+        model = self._allocator.allocator.model
+        if not model.fitted_scalability_states():
+            raise ConfigurationError(
+                "the allocator's model has no fitted coefficients; train it "
+                "before scheduling"
+            )
+        raise ConfigurationError(
+            f"policy {policy.name}: no fitted model coefficients for power "
+            f"cap(s) {tuple(float(p) for p in caps)} W; the allocator's "
+            f"trained grid is {self._allocator.allocator.power_caps}"
+        )
+
     @property
     def config(self) -> SchedulerConfig:
         """The scheduler configuration."""
@@ -75,11 +127,14 @@ class CoScheduler:
 
     # ------------------------------------------------------------------
     def _policy(self) -> Policy:
-        if self._config.policy_name.lower() in ("problem1", "throughput"):
-            return Problem1Policy(
-                power_cap_w=self._config.power_cap_w, alpha=self._config.alpha
-            )
-        return Problem2Policy(alpha=self._config.alpha)
+        # Problem 2 may only choose caps the allocator's model was trained
+        # for, so follow the allocator's grid instead of the global default.
+        return make_policy(
+            self._config.policy_name,
+            self._config.alpha,
+            power_cap_w=self._config.power_cap_w,
+            power_caps=self._allocator.allocator.power_caps,
+        )
 
     def _is_profiled(self, job: Job) -> bool:
         return self._allocator.database.has(job.name)
@@ -91,23 +146,33 @@ class CoScheduler:
         The returned plan contains either:
 
         * a single unprofiled job (profile run),
-        * a pair plus the allocator's decision,
-        * or a single job to run alone when pairing is impossible.
+        * a co-location group (pair, greedily grown up to ``group_size``)
+          plus the allocator's decision,
+        * or a single job to run alone when grouping is impossible.
         """
         if queue.empty:
             raise SchedulingError("cannot plan: the job queue is empty")
+        self._validate_policy_against_model()
         head = queue.peek()
         if not self._is_profiled(head):
             return DispatchPlan(jobs=(head,), decision=None, reason="profile run")
+        if self._config.group_size == 1:
+            # One job per GPU: co-location is disabled by configuration.
+            return DispatchPlan(
+                jobs=(head,), decision=None, reason="exclusive run (group_size=1)"
+            )
 
         policy = self._policy()
+        window = queue.window(self._config.window_size)
+        candidates = [
+            job
+            for job in window
+            if job.job_id != head.job_id and self._is_profiled(job)
+        ]
+
         best_plan: DispatchPlan | None = None
         best_objective = float("-inf")
-        for candidate in queue.window(self._config.window_size):
-            if candidate.job_id == head.job_id:
-                continue
-            if not self._is_profiled(candidate):
-                continue
+        for candidate in candidates:
             try:
                 decision = self._allocator.decide([head.name, candidate.name], policy)
             except InfeasibleProblemError:
@@ -119,6 +184,10 @@ class CoScheduler:
                     decision=decision,
                     reason=f"co-schedule via {policy.name}",
                 )
+        if best_plan is not None and self._config.group_size > 2:
+            best_plan, best_objective = self._grow_group(
+                best_plan, best_objective, candidates, policy
+            )
         if best_plan is not None:
             return best_plan
         if not self._config.allow_solo:
@@ -127,6 +196,47 @@ class CoScheduler:
                 "and solo execution is disabled"
             )
         return DispatchPlan(jobs=(head,), decision=None, reason="no feasible partner")
+
+    def _grow_group(
+        self,
+        plan: DispatchPlan,
+        objective: float,
+        candidates: list[Job],
+        policy: Policy,
+    ) -> tuple[DispatchPlan, float]:
+        """Greedily extend a pair with window jobs while the objective improves.
+
+        Each round tries every remaining profiled window job as the next
+        member and keeps the best strictly-improving extension; the loop
+        stops at ``group_size`` members or when no extension helps (the
+        heuristic search over group composition the paper's Section 6 calls
+        for — the state/cap inside each trial is still solved exactly by
+        the allocator).
+        """
+        while len(plan.jobs) < self._config.group_size:
+            members = {job.job_id for job in plan.jobs}
+            best_extension: DispatchPlan | None = None
+            best_extension_objective = objective
+            for candidate in candidates:
+                if candidate.job_id in members:
+                    continue
+                names = [job.name for job in plan.jobs] + [candidate.name]
+                try:
+                    decision = self._allocator.decide(names, policy)
+                except InfeasibleProblemError:
+                    continue
+                if decision.predicted_objective > best_extension_objective:
+                    best_extension_objective = decision.predicted_objective
+                    best_extension = DispatchPlan(
+                        jobs=plan.jobs + (candidate,),
+                        decision=decision,
+                        reason=f"co-schedule {len(plan.jobs) + 1} jobs via {policy.name}",
+                    )
+            if best_extension is None:
+                break
+            plan = best_extension
+            objective = best_extension_objective
+        return plan, objective
 
     # ------------------------------------------------------------------
     def dispatch(
@@ -165,11 +275,13 @@ class CoScheduler:
         else:
             decision = plan.decision
             kernels = [job.kernel for job in plan.jobs]
-            result = node.execute_pair(kernels, decision.state, decision.power_cap_w)
+            result = node.execute_group(kernels, decision.state, decision.power_cap_w)
             finish = time
             for job, run in zip(plan.jobs, result.per_app):
                 job.transition(JobState.RUNNING)
-                job.co_runner = [j.job_id for j in plan.jobs if j is not job][0]
+                others = tuple(j.job_id for j in plan.jobs if j is not job)
+                job.co_runner = others[0]
+                job.co_runners = others
                 job.assigned_device = f"node{node.node_id}-{decision.state.describe()}-app{run.app_index}"
                 job.mark(
                     f"co-run on {decision.state.describe()} @ {decision.power_cap_w:.0f}W "

@@ -30,11 +30,13 @@ from repro.core.features import (
 from repro.core.metrics import (
     energy_efficiency,
     fairness,
+    fairness_batch,
     geometric_mean,
     weighted_speedup,
+    weighted_speedup_batch,
 )
 from repro.core.model import HardwareStateKey, LinearPerfModel
-from repro.core.optimizer import ResourcePowerAllocator
+from repro.core.optimizer import DecisionCache, ResourcePowerAllocator
 from repro.core.policies import Policy, Problem1Policy, Problem2Policy
 from repro.core.search import ExhaustiveSearch, HillClimbingSearch, SearchCandidate
 from repro.core.training import (
@@ -44,7 +46,13 @@ from repro.core.training import (
     collect_corun_measurements,
     collect_solo_measurements,
 )
-from repro.core.workflow import OfflineTrainer, OnlineAllocator, PaperWorkflow
+from repro.core.workflow import (
+    OfflineTrainer,
+    OnlineAllocator,
+    PaperWorkflow,
+    TrainingPlan,
+    power_caps_for_spec,
+)
 
 __all__ = [
     "AllocationDecision",
@@ -55,12 +63,15 @@ __all__ = [
     "basis_h",
     "basis_j",
     "weighted_speedup",
+    "weighted_speedup_batch",
     "fairness",
+    "fairness_batch",
     "energy_efficiency",
     "geometric_mean",
     "HardwareStateKey",
     "LinearPerfModel",
     "ResourcePowerAllocator",
+    "DecisionCache",
     "Policy",
     "Problem1Policy",
     "Problem2Policy",
@@ -75,4 +86,6 @@ __all__ = [
     "OfflineTrainer",
     "OnlineAllocator",
     "PaperWorkflow",
+    "TrainingPlan",
+    "power_caps_for_spec",
 ]

@@ -31,7 +31,7 @@ class CandidateEvaluation:
 
 @dataclass(frozen=True)
 class AllocationDecision:
-    """The allocator's answer for one application pair and one policy.
+    """The allocator's answer for one co-location group and one policy.
 
     Attributes
     ----------

@@ -15,6 +15,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -32,6 +34,26 @@ def fairness(relative_performances: Sequence[float]) -> float:
     if not values:
         raise ConfigurationError("fairness needs at least one application")
     return float(min(values))
+
+
+def weighted_speedup_batch(relative_performances: np.ndarray) -> np.ndarray:
+    """Vectorized throughput over a ``(n_candidates, n_apps)`` grid."""
+    matrix = np.asarray(relative_performances, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise ConfigurationError(
+            f"expected a (n_candidates, n_apps) matrix, got shape {matrix.shape}"
+        )
+    return matrix.sum(axis=1)
+
+
+def fairness_batch(relative_performances: np.ndarray) -> np.ndarray:
+    """Vectorized fairness over a ``(n_candidates, n_apps)`` grid."""
+    matrix = np.asarray(relative_performances, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise ConfigurationError(
+            f"expected a (n_candidates, n_apps) matrix, got shape {matrix.shape}"
+        )
+    return matrix.min(axis=1)
 
 
 def energy_efficiency(

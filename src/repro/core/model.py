@@ -54,10 +54,20 @@ class HardwareStateKey:
     def from_state(
         cls, state: PartitionState, app_index: int, power_cap_w: float
     ) -> "HardwareStateKey":
-        """The key seen by application ``app_index`` under ``state`` at ``power_cap_w``."""
+        """The key seen by application ``app_index`` under ``state`` at ``power_cap_w``.
+
+        For mixed states the per-application option is the *effective* one
+        (private when the application owns its GPU Instance, shared when it
+        shares one), so coefficients calibrated on the two base options can
+        be applied to mixed layouts.  This is an approximation: the key
+        does not encode the GPU Instance's size, so a shared sub-chip GI
+        reuses coefficients fitted on the full-chip pool and overestimates
+        the bandwidth available there (see ROADMAP — GI-size-aware keys
+        need mixed-state training data).
+        """
         return cls(
             gpcs=state.gpc_allocations[app_index],
-            option=state.option,
+            option=state.effective_option(app_index),
             power_cap_w=float(power_cap_w),
         )
 
@@ -75,10 +85,18 @@ class LinearPerfModel:
     coefficients and evaluates predictions.
     """
 
+    #: Candidate-grid coefficient gathers memoized per model (see
+    #: :meth:`predict_candidates`); bounded so stale grids are dropped.
+    _GATHER_CACHE_SIZE = 8
+
     def __init__(self, basis: BasisFunctions = DEFAULT_BASIS) -> None:
         self._basis = basis
         self._scalability: dict[HardwareStateKey, np.ndarray] = {}
         self._interference: dict[HardwareStateKey, np.ndarray] = {}
+        self._coefficients_version = 0
+        self._gather_cache: dict[
+            tuple, tuple[np.ndarray, np.ndarray | None, np.ndarray | None]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -87,6 +105,16 @@ class LinearPerfModel:
     def basis(self) -> BasisFunctions:
         """The basis functions the coefficients were fitted against."""
         return self._basis
+
+    @property
+    def coefficients_version(self) -> int:
+        """Counter bumped whenever a coefficient vector is (re)installed.
+
+        Caches keyed on model predictions (the gather memo here, the
+        allocator's decision cache, the online layer's state cache) include
+        this so refitting invalidates them.
+        """
+        return self._coefficients_version
 
     def fitted_scalability_states(self) -> tuple[HardwareStateKey, ...]:
         """Hardware states with a fitted scalability term."""
@@ -131,6 +159,7 @@ class LinearPerfModel:
                 f"({self._basis.h_dim},), got {coefficients.shape}"
             )
         self._scalability[key] = coefficients.copy()
+        self._coefficients_version += 1
 
     def set_interference_coefficients(
         self, key: HardwareStateKey, coefficients: np.ndarray
@@ -143,6 +172,7 @@ class LinearPerfModel:
                 f"({self._basis.j_dim},), got {coefficients.shape}"
             )
         self._interference[key] = coefficients.copy()
+        self._coefficients_version += 1
 
     # ------------------------------------------------------------------
     # Prediction
@@ -192,9 +222,129 @@ class LinearPerfModel:
         predictions = []
         for index, counters in enumerate(counters_list):
             key = HardwareStateKey.from_state(state, index, power_cap_w)
-            others = [c for j, c in enumerate(counters_list) if j != index]
-            predictions.append(self.predict_rperf(counters, key, others))
+            partners = [
+                counters_list[j] for j in state.interference_partners(index)
+            ]
+            predictions.append(self.predict_rperf(counters, key, partners))
         return tuple(predictions)
+
+    def predict_candidates(
+        self,
+        counters_list: Sequence[CounterVector],
+        candidates: Sequence[tuple[PartitionState, float]],
+    ) -> np.ndarray:
+        """Batched predictions over a grid of ``(state, power_cap)`` candidates.
+
+        Returns an array of shape ``(len(candidates), n_apps)`` whose rows
+        match :meth:`predict_corun` for the corresponding candidate.  The
+        basis features of each application are computed once and the
+        per-candidate work reduces to coefficient gathers plus vectorized
+        matrix-vector products — this is the allocator's hot path when the
+        candidate space grows beyond the paper's 24-point grid.
+        """
+        n_apps = len(counters_list)
+        if n_apps == 0:
+            raise ModelError("predict_candidates needs at least one application")
+        n_candidates = len(candidates)
+        h_vecs = [self._basis.h(c) for c in counters_list]
+        j_vecs = [self._basis.j(c) for c in counters_list]
+        scalability, interference, partner_mask = self._gather_coefficients(
+            candidates, n_apps
+        )
+        predictions = np.empty((n_candidates, n_apps), dtype=float)
+        for i in range(n_apps):
+            # Accumulate in the same order as the scalar path (own term,
+            # then each interference partner in index order) so both paths
+            # agree; the mask zeroes non-partners (other GIs of a mixed
+            # state) per candidate.
+            acc = scalability[:, i, :] @ h_vecs[i]
+            if interference is not None:
+                for k in range(n_apps):
+                    if k == i:
+                        continue
+                    acc = acc + partner_mask[:, i, k] * (
+                        interference[:, i, :] @ j_vecs[k]
+                    )
+            predictions[:, i] = np.maximum(0.0, acc)
+        return predictions
+
+    def _gather_coefficients(
+        self,
+        candidates: Sequence[tuple[PartitionState, float]],
+        n_apps: int,
+    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+        """Coefficient tensors and partner mask for a grid, memoized per grid.
+
+        The gather depends only on the grid and the fitted coefficients —
+        not on the profiles being predicted — so scheduling loops that
+        re-solve the same grid for different application groups skip the
+        per-candidate dictionary lookups entirely.  The memo is invalidated
+        whenever a coefficient vector is (re)installed.
+        """
+        cache_key = (
+            self._coefficients_version,
+            n_apps,
+            tuple((state.key(), float(cap)) for state, cap in candidates),
+        )
+        cached = self._gather_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        n_candidates = len(candidates)
+        scalability = np.empty((n_candidates, n_apps, self._basis.h_dim), dtype=float)
+        interference = (
+            np.empty((n_candidates, n_apps, self._basis.j_dim), dtype=float)
+            if n_apps > 1
+            else None
+        )
+        partner_mask = (
+            np.zeros((n_candidates, n_apps, n_apps), dtype=float)
+            if n_apps > 1
+            else None
+        )
+        for ci, (state, power_cap_w) in enumerate(candidates):
+            if state.n_apps != n_apps:
+                raise ModelError(
+                    f"candidate state {state.describe()} has {state.n_apps} "
+                    f"applications but {n_apps} profiles were supplied"
+                )
+            for i in range(n_apps):
+                key = HardwareStateKey.from_state(state, i, power_cap_w)
+                self._require_scalability(key)
+                scalability[ci, i] = self._scalability[key]
+                if interference is not None and partner_mask is not None:
+                    if key not in self._interference:
+                        raise NotFittedError(
+                            f"no interference coefficients fitted for state {key.describe()}"
+                        )
+                    interference[ci, i] = self._interference[key]
+                    partner_mask[ci, i, list(state.interference_partners(i))] = 1.0
+        if len(self._gather_cache) >= self._GATHER_CACHE_SIZE:
+            self._gather_cache.clear()
+        self._gather_cache[cache_key] = (scalability, interference, partner_mask)
+        return scalability, interference, partner_mask
+
+    def supports_candidate(
+        self,
+        state: PartitionState,
+        power_caps: Iterable[float],
+        with_interference: bool | None = None,
+    ) -> bool:
+        """Whether every per-application key of ``state`` × ``power_caps`` is fitted.
+
+        ``with_interference`` defaults to requiring the interference term
+        exactly when the state co-locates more than one application.
+        """
+        needs_interference = (
+            state.n_apps > 1 if with_interference is None else with_interference
+        )
+        for power_cap in power_caps:
+            for index in range(state.n_apps):
+                key = HardwareStateKey.from_state(state, index, power_cap)
+                if key not in self._scalability:
+                    return False
+                if needs_interference and key not in self._interference:
+                    return False
+        return True
 
     # ------------------------------------------------------------------
     # Persistence

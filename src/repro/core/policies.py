@@ -100,6 +100,13 @@ class Problem2Policy:
         return fairness > self.alpha
 
 
+#: Accepted aliases for the two optimization problems (the single source of
+#: truth shared by :func:`make_policy` and the scheduler's config check).
+PROBLEM1_ALIASES: tuple[str, ...] = ("problem1", "throughput")
+PROBLEM2_ALIASES: tuple[str, ...] = ("problem2", "energy-efficiency", "efficiency")
+POLICY_NAMES: tuple[str, ...] = PROBLEM1_ALIASES + PROBLEM2_ALIASES
+
+
 def make_policy(
     name: str,
     alpha: float,
@@ -112,10 +119,10 @@ def make_policy(
     ``"problem2"``/``"energy-efficiency"``.
     """
     normalized = name.lower()
-    if normalized in ("problem1", "throughput"):
+    if normalized in PROBLEM1_ALIASES:
         if power_cap_w is None:
             raise ConfigurationError("Problem 1 requires a given power cap")
         return Problem1Policy(power_cap_w=power_cap_w, alpha=alpha)
-    if normalized in ("problem2", "energy-efficiency", "efficiency"):
+    if normalized in PROBLEM2_ALIASES:
         return Problem2Policy(alpha=alpha, power_caps=tuple(power_caps))
-    raise ConfigurationError(f"unknown policy {name!r}")
+    raise ConfigurationError(f"unknown policy {name!r}; valid names: {POLICY_NAMES}")

@@ -171,7 +171,8 @@ class ModelTrainer:
                 )
                 own_counters = measurement.counters[index]
                 others = [
-                    c for j, c in enumerate(measurement.counters) if j != index
+                    measurement.counters[j]
+                    for j in measurement.state.interference_partners(index)
                 ]
                 if not others:
                     continue
@@ -243,12 +244,19 @@ def collect_corun_measurements(
     states: Sequence[PartitionState] = CORUN_STATES,
     power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
 ) -> list[CoRunMeasurement]:
-    """Execute the co-run training sweep and return its measurements."""
+    """Execute the co-run training sweep and return its measurements.
+
+    ``kernel_pairs`` may contain groups of any size; each group is only run
+    under the states describing the same number of applications, so a mixed
+    collection of pair and N-way training workloads can share one grid.
+    """
     measurements: list[CoRunMeasurement] = []
     for kernels in kernel_pairs:
         counters = tuple(simulator.profile(kernel) for kernel in kernels)
         names = tuple(kernel.name for kernel in kernels)
         for state in states:
+            if state.n_apps != len(kernels):
+                continue
             for power_cap in power_caps:
                 result = simulator.co_run(list(kernels), state, power_cap)
                 measurements.append(

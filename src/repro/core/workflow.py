@@ -30,14 +30,44 @@ from repro.core.training import (
     collect_corun_measurements,
     collect_solo_measurements,
 )
-from repro.errors import MissingProfileError
-from repro.gpu.mig import CORUN_STATES, MemoryOption, PartitionState
+from repro.errors import (
+    InfeasibleProblemError,
+    MissingProfileError,
+    PartitioningError,
+)
+from repro.gpu.mig import (
+    CORUN_STATES,
+    MemoryOption,
+    PartitionState,
+    enumerate_partition_states,
+)
+from repro.gpu.spec import A100_SPEC, GPUSpec
 from repro.profiling.database import ProfileDatabase
 from repro.profiling.profiler import ProfileCollector
 from repro.sim.engine import PerformanceSimulator
 from repro.workloads.kernel import KernelCharacteristics
 from repro.workloads.pairs import CORUN_PAIRS, CoRunPair
 from repro.workloads.suite import BenchmarkSuite, DEFAULT_SUITE
+
+
+#: The paper's cap grid expressed as fractions of the factory power limit
+#: (150–250 W on the 250 W A100); used to derive grids for other specs.
+_CAP_FRACTIONS: tuple[float, ...] = (0.60, 0.68, 0.76, 0.84, 0.92, 1.00)
+
+
+def power_caps_for_spec(spec: GPUSpec) -> tuple[float, ...]:
+    """A Table 5-style power-cap grid scaled to ``spec``'s envelope.
+
+    The fractions of the factory limit match the paper's A100 grid (for the
+    A100 this reproduces ``DEFAULT_POWER_CAPS`` exactly); values below the
+    spec's minimum supported cap are clamped up to it.
+    """
+    caps = []
+    for fraction in _CAP_FRACTIONS:
+        cap = max(spec.min_power_cap_w, fraction * spec.default_power_limit_w)
+        if cap not in caps:
+            caps.append(cap)
+    return tuple(caps)
 
 
 @dataclass(frozen=True)
@@ -67,6 +97,48 @@ class TrainingPlan:
         """Number of co-run training runs each pair requires."""
         return len(self.states) * len(self.power_caps)
 
+    @classmethod
+    def for_spec(
+        cls,
+        spec: GPUSpec,
+        power_caps: Sequence[float] | None = None,
+    ) -> "TrainingPlan":
+        """A plan whose grid is derived from ``spec`` instead of Table 5.
+
+        The solo sweep covers every MIG instance size the spec offers and
+        the interference calibration covers *every* realizable pair state,
+        so the fitted coefficients support allocation decisions for groups
+        of any size (the interference term composes additively over
+        co-runners, Section 4.3).  This is the plan to use for N-way
+        scheduling or for non-A100 specs whose profile table differs.
+        """
+        if power_caps is None:
+            power_caps = power_caps_for_spec(spec)
+        sizes = tuple(s for s in spec.mig_instance_sizes if s <= spec.mig_gpcs)
+        pair_states = tuple(
+            enumerate_partition_states(
+                2, spec, (MemoryOption.SHARED, MemoryOption.PRIVATE)
+            )
+        )
+        return cls(
+            gpc_counts=sizes,
+            options=(MemoryOption.PRIVATE, MemoryOption.SHARED),
+            power_caps=tuple(float(p) for p in power_caps),
+            states=pair_states,
+        )
+
+
+def _default_plan_for(spec: GPUSpec) -> TrainingPlan:
+    """The Table 5 plan on the A100, a spec-derived plan everywhere else.
+
+    The paper's grid (S1–S4, 150–250 W) is hard-wired to the A100's
+    envelope; other specs get :meth:`TrainingPlan.for_spec` so training
+    stays within their cap range and instance-profile table.
+    """
+    if spec == A100_SPEC:
+        return TrainingPlan()
+    return TrainingPlan.for_spec(spec)
+
 
 class OfflineTrainer:
     """The offline half of Figure 7: calibrate the model coefficients."""
@@ -79,8 +151,10 @@ class OfflineTrainer:
         basis: BasisFunctions = DEFAULT_BASIS,
     ) -> None:
         self._simulator = simulator if simulator is not None else PerformanceSimulator()
+        if plan is None:
+            plan = _default_plan_for(self._simulator.spec)
         self._suite = suite
-        self._plan = plan if plan is not None else TrainingPlan()
+        self._plan = plan
         self._basis = basis
         self._trainer = ModelTrainer(basis)
 
@@ -133,7 +207,13 @@ class OfflineTrainer:
 
 
 class OnlineAllocator:
-    """The online half of Figure 7: profile lookup + optimization."""
+    """The online half of Figure 7: profile lookup + optimization.
+
+    Decisions are not limited to pairs: for a group size with no configured
+    candidate state the allocator enumerates every realizable state on
+    ``spec`` (private, shared, and mixed GI layouts) and keeps those the
+    trained model can evaluate.
+    """
 
     def __init__(
         self,
@@ -143,9 +223,13 @@ class OnlineAllocator:
         candidate_states: Sequence[PartitionState] = CORUN_STATES,
         power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
         search: SearchStrategy | None = None,
+        spec: GPUSpec = A100_SPEC,
     ) -> None:
         self._database = database if database is not None else ProfileDatabase()
         self._collector = collector
+        self._spec = spec
+        self._model = model
+        self._state_cache: dict[tuple, tuple[PartitionState, ...]] = {}
         self._allocator = ResourcePowerAllocator(
             model,
             candidate_states=candidate_states,
@@ -180,13 +264,70 @@ class OnlineAllocator:
             )
         self._database.add(self._collector.collect(kernel))
 
-    def decide(self, app_names: Sequence[str], policy: Policy) -> AllocationDecision:
-        """Solve ``policy`` for the applications named in ``app_names``.
+    def candidate_states_for(
+        self, n_apps: int, power_caps: Sequence[float] | None = None
+    ) -> tuple[PartitionState, ...]:
+        """Candidate partition states for a group of ``n_apps`` applications.
 
-        Every application must already have a profile in the database.
+        Configured states matching the group size win (this keeps the
+        paper's S1–S4 behaviour for pairs); otherwise the states are
+        enumerated from the spec.  Either way only states whose
+        per-application hardware keys the model has coefficients for at
+        every candidate cap are returned, so an off-grid cap shows up as an
+        empty result instead of a :class:`NotFittedError` mid-search.  The
+        result is cached per (group size, caps, model version).
+        """
+        caps = tuple(
+            float(p)
+            for p in (self._allocator.power_caps if power_caps is None else power_caps)
+        )
+        version = self._model.coefficients_version
+        cache_key = (n_apps, caps, version)
+        cached = self._state_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        # A refit invalidates everything cached for older versions; purge so
+        # long-lived recalibrating processes don't accumulate stale entries.
+        self._state_cache = {
+            key: value for key, value in self._state_cache.items() if key[2] == version
+        }
+        configured = tuple(
+            state
+            for state in self._allocator.candidate_states
+            if state.n_apps == n_apps
+        )
+        pool = configured if configured else enumerate_partition_states(n_apps, self._spec)
+        supported = tuple(
+            state for state in pool if self._model.supports_candidate(state, caps)
+        )
+        self._state_cache[cache_key] = supported
+        return supported
+
+    def decide(self, app_names: Sequence[str], policy: Policy) -> AllocationDecision:
+        """Solve ``policy`` for the application group named in ``app_names``.
+
+        Every application must already have a profile in the database.  The
+        group may have any size; see :meth:`candidate_states_for` for how
+        the candidate space is chosen.
         """
         counters = [self._database.get(name).counters for name in app_names]
-        return self._allocator.solve(counters, policy)
+        policy_caps = policy.candidate_power_caps()
+        states = self.candidate_states_for(len(app_names), policy_caps)
+        if not states:
+            # Distinguish an off-grid power cap (states exist, just not at
+            # these caps) from a genuinely uncovered group size.
+            if self.candidate_states_for(len(app_names)):
+                raise InfeasibleProblemError(
+                    f"the trained model has no coefficients for power cap(s) "
+                    f"{tuple(float(p) for p in policy_caps)} W; fitted caps: "
+                    f"{self._allocator.power_caps}"
+                )
+            raise InfeasibleProblemError(
+                f"the trained model supports no partition state for a group of "
+                f"{len(app_names)} application(s) on {self._spec.name}; train with "
+                f"TrainingPlan.for_spec(spec) to cover the full instance-size grid"
+            )
+        return self._allocator.solve(counters, policy, states=states)
 
 
 class PaperWorkflow:
@@ -198,18 +339,39 @@ class PaperWorkflow:
         suite: BenchmarkSuite = DEFAULT_SUITE,
         plan: TrainingPlan | None = None,
         basis: BasisFunctions = DEFAULT_BASIS,
-        candidate_states: Sequence[PartitionState] = CORUN_STATES,
-        power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
+        candidate_states: Sequence[PartitionState] | None = None,
+        power_caps: Sequence[float] | None = None,
         search: SearchStrategy | None = None,
     ) -> None:
         self._simulator = simulator if simulator is not None else PerformanceSimulator()
         self._suite = suite
         self._offline = OfflineTrainer(self._simulator, suite, plan, basis)
+        spec = self._simulator.spec
+        if candidate_states is None:
+            candidate_states = self._default_candidate_states(spec)
+        if power_caps is None:
+            power_caps = (
+                DEFAULT_POWER_CAPS if spec == A100_SPEC else power_caps_for_spec(spec)
+            )
         self._candidate_states = tuple(candidate_states)
         self._power_caps = tuple(float(p) for p in power_caps)
         self._search = search
         self._model: LinearPerfModel | None = None
         self._online: OnlineAllocator | None = None
+
+    @staticmethod
+    def _default_candidate_states(spec: GPUSpec) -> tuple[PartitionState, ...]:
+        """Table 5's S1–S4 when the spec realizes them, else spec-derived pairs."""
+        try:
+            for state in CORUN_STATES:
+                state.validate_against(spec)
+        except PartitioningError:
+            return tuple(
+                enumerate_partition_states(
+                    2, spec, (MemoryOption.SHARED, MemoryOption.PRIVATE)
+                )
+            )
+        return CORUN_STATES
 
     @property
     def simulator(self) -> PerformanceSimulator:
@@ -260,6 +422,7 @@ class PaperWorkflow:
             candidate_states=self._candidate_states,
             power_caps=self._power_caps,
             search=self._search,
+            spec=self._simulator.spec,
         )
         return self._model
 
@@ -267,7 +430,7 @@ class PaperWorkflow:
     def decide_problem1(
         self, app_names: Sequence[str], power_cap_w: float, alpha: float = 0.2
     ) -> AllocationDecision:
-        """Problem 1 decision for a pair of profiled applications."""
+        """Problem 1 decision for a group of profiled applications."""
         return self.online.decide(
             app_names, Problem1Policy(power_cap_w=power_cap_w, alpha=alpha)
         )
@@ -275,7 +438,7 @@ class PaperWorkflow:
     def decide_problem2(
         self, app_names: Sequence[str], alpha: float = 0.2
     ) -> AllocationDecision:
-        """Problem 2 decision for a pair of profiled applications."""
+        """Problem 2 decision for a group of profiled applications."""
         return self.online.decide(
             app_names, Problem2Policy(alpha=alpha, power_caps=self._power_caps)
         )

@@ -17,7 +17,16 @@ paper's methodology depends on:
   tooling interacts with a real A100.
 """
 
-from repro.gpu.spec import A100_SPEC, GPUSpec, Pipe, PipeThroughput
+from repro.gpu.spec import (
+    A100_SPEC,
+    A30_SPEC,
+    GPU_SPECS,
+    GPUSpec,
+    H100_SPEC,
+    Pipe,
+    PipeThroughput,
+    spec_by_name,
+)
 from repro.gpu.clocks import DVFSModel
 from repro.gpu.power import GPCLoad, InstanceLoad, PowerBreakdown, PowerModel
 from repro.gpu.mig import (
@@ -34,6 +43,8 @@ from repro.gpu.mig import (
     S2,
     S3,
     S4,
+    enumerate_corun_states,
+    enumerate_partition_states,
     solo_state,
     solo_states,
 )
@@ -42,6 +53,10 @@ from repro.gpu.topology import ChipTopology, GPCUnit, MemorySlice
 
 __all__ = [
     "A100_SPEC",
+    "A30_SPEC",
+    "H100_SPEC",
+    "GPU_SPECS",
+    "spec_by_name",
     "GPUSpec",
     "Pipe",
     "PipeThroughput",
@@ -63,6 +78,8 @@ __all__ = [
     "S2",
     "S3",
     "S4",
+    "enumerate_corun_states",
+    "enumerate_partition_states",
     "solo_state",
     "solo_states",
     "SimulatedNVML",

@@ -29,7 +29,6 @@ This module provides two layers:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator, Mapping, Sequence
@@ -47,16 +46,33 @@ class MemoryOption(str, Enum):
     #: One GPU Instance hosts all applications as Compute Instances
     #: (memory resources shared; full-chip bandwidth visible to everyone).
     SHARED = "shared"
+    #: Applications are split into several GPU Instances, at least one of
+    #: which hosts two or more applications as Compute Instances.  Memory is
+    #: isolated *between* the GIs and shared *inside* each GI — the finer
+    #: granularity the paper's Section 6 points to for larger groups.
+    MIXED = "mixed"
 
 
 #: Memory slices granted to a GPU Instance of a given GPC size on the A100
 #: (the paper, Section 3: "when we utilize 1, 2, 3, 4, or 7 GPCs with the
 #: private option, 1, 2, 4, 4, or 8 LLC/HBM modules are assigned").
-GPC_TO_MEM_SLICES: Mapping[int, int] = {1: 1, 2: 2, 3: 4, 4: 4, 7: 8}
+#: Aliases the A100 spec's profile table so there is one source of truth.
+GPC_TO_MEM_SLICES: Mapping[int, int] = A100_SPEC.mig_mem_slices
 
 #: Compute/GPU Instance sizes supported by the MIG feature (no 5- or 6-GPC
-#: instances exist on the A100).
-VALID_INSTANCE_SIZES: tuple[int, ...] = (1, 2, 3, 4, 7)
+#: instances exist on the A100).  This is the superset of sizes any built-in
+#: :class:`~repro.gpu.spec.GPUSpec` offers; per-spec validity is checked by
+#: :meth:`PartitionState.validate_against`.
+VALID_INSTANCE_SIZES: tuple[int, ...] = A100_SPEC.mig_instance_sizes
+
+
+def _normalize_groups(groups: Sequence[int]) -> tuple[int, ...]:
+    """Relabel group ids to be 0-based in order of first appearance."""
+    mapping: dict[int, int] = {}
+    for group in groups:
+        if group not in mapping:
+            mapping[group] = len(mapping)
+    return tuple(mapping[group] for group in groups)
 
 
 @dataclass(frozen=True)
@@ -103,11 +119,18 @@ class PartitionState:
         The LLC/HBM sharing option.
     label:
         Optional short name (``"S1"`` … ``"S4"`` for the paper's states).
+    gi_groups:
+        Only for the *mixed* option: ``gi_groups[i]`` is the GPU-Instance
+        group application ``i`` belongs to.  Group ids must be 0-based and
+        numbered in order of first appearance; at least two groups must
+        exist and at least one group must hold two or more applications
+        (otherwise the state is simply private or shared).
     """
 
     gpc_allocations: tuple[int, ...]
     option: MemoryOption
     label: str | None = None
+    gi_groups: tuple[int, ...] | None = None
 
     def __post_init__(self) -> None:
         if not self.gpc_allocations:
@@ -120,6 +143,33 @@ class PartitionState:
                 )
         option = MemoryOption(self.option)
         object.__setattr__(self, "option", option)
+        if option is MemoryOption.MIXED:
+            self._validate_gi_groups()
+        elif self.gi_groups is not None:
+            raise SpecificationError(
+                f"gi_groups is only meaningful for the mixed option, not {option.value}"
+            )
+
+    def _validate_gi_groups(self) -> None:
+        groups = self.gi_groups
+        if groups is None:
+            raise SpecificationError("the mixed option requires gi_groups")
+        if len(groups) != len(self.gpc_allocations):
+            raise SpecificationError(
+                f"gi_groups has {len(groups)} entries for "
+                f"{len(self.gpc_allocations)} applications"
+            )
+        if tuple(groups) != _normalize_groups(groups):
+            raise SpecificationError(
+                f"gi_groups must use 0-based ids in order of first appearance, got {groups}"
+            )
+        n_groups = max(groups) + 1
+        largest = max(groups.count(group) for group in range(n_groups))
+        if n_groups < 2 or largest < 2:
+            raise SpecificationError(
+                f"a mixed state needs >= 2 GPU Instances with >= 1 multi-application "
+                f"instance (got groups {groups}); use private or shared instead"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -137,24 +187,92 @@ class PartitionState:
         """Whether this state describes a single application."""
         return self.n_apps == 1
 
-    def allocation_for(self, index: int) -> InstanceAllocation:
-        """Resources visible to application ``index`` (0-based)."""
+    def groups(self) -> tuple[tuple[int, ...], ...]:
+        """Application indices per GPU Instance, in GI order.
+
+        Under the private option every application lives in its own GI;
+        under the shared option one GI hosts everyone; under the mixed
+        option the grouping follows ``gi_groups``.
+        """
+        if self.option is MemoryOption.PRIVATE:
+            return tuple((i,) for i in range(self.n_apps))
+        if self.option is MemoryOption.SHARED:
+            return (tuple(range(self.n_apps)),)
+        assert self.gi_groups is not None
+        n_groups = max(self.gi_groups) + 1
+        return tuple(
+            tuple(i for i, g in enumerate(self.gi_groups) if g == group)
+            for group in range(n_groups)
+        )
+
+    def group_of(self, index: int) -> tuple[int, ...]:
+        """The application indices sharing a GPU Instance with ``index``."""
+        for members in self.groups():
+            if index in members:
+                return members
+        raise IndexError(f"application index {index} out of range")
+
+    def interference_partners(self, index: int) -> tuple[int, ...]:
+        """Application indices whose interference term couples to ``index``.
+
+        For the private and shared options this is every co-runner — the
+        paper's pairwise model, where the private coefficients capture the
+        residual power coupling between isolated instances.  For the mixed
+        option an application sharing a GPU Instance interferes (cache,
+        bandwidth) only with its GI-mates; an application alone in its GI
+        behaves exactly like a private placement and couples to everyone
+        through its private-option coefficients.
+        """
+        if not (0 <= index < self.n_apps):
+            raise IndexError(f"application index {index} out of range")
+        if self.option is MemoryOption.MIXED:
+            members = self.group_of(index)
+            if len(members) > 1:
+                return tuple(j for j in members if j != index)
+        return tuple(j for j in range(self.n_apps) if j != index)
+
+    def effective_option(self, index: int) -> MemoryOption:
+        """The memory option application ``index`` actually experiences.
+
+        In a mixed state an application alone in its GI behaves like the
+        private option, one sharing a GI like the shared option — this is
+        what the per-application model keys are derived from.
+        """
+        if self.option is not MemoryOption.MIXED:
+            return self.option
+        members = self.group_of(index)
+        return MemoryOption.SHARED if len(members) > 1 else MemoryOption.PRIVATE
+
+    def gi_size_for_group(self, members: Sequence[int], spec: GPUSpec) -> int:
+        """GPCs of the GPU Instance hosting ``members`` on ``spec``.
+
+        A single-application private GI matches the application's size; the
+        shared option uses the full MIG partition; a mixed multi-application
+        GI uses the smallest instance profile that fits the group.
+        """
+        if self.option is MemoryOption.SHARED:
+            return spec.mig_gpcs
+        total = sum(self.gpc_allocations[i] for i in members)
+        if len(members) == 1:
+            return total
+        return spec.smallest_instance_holding(total)
+
+    def allocation_for(self, index: int, spec: GPUSpec = A100_SPEC) -> InstanceAllocation:
+        """Resources visible to application ``index`` (0-based) on ``spec``."""
         if not (0 <= index < self.n_apps):
             raise IndexError(f"application index {index} out of range")
         gpcs = self.gpc_allocations[index]
-        if self.option is MemoryOption.SHARED:
-            mem_slices = GPC_TO_MEM_SLICES[7]
-        else:
-            mem_slices = GPC_TO_MEM_SLICES[gpcs]
+        members = self.group_of(index)
+        gi_size = self.gi_size_for_group(members, spec)
         return InstanceAllocation(
             gpcs=gpcs,
-            mem_slices=mem_slices,
-            shared_memory=self.option is MemoryOption.SHARED,
+            mem_slices=spec.instance_mem_slices(gi_size),
+            shared_memory=len(members) > 1 or self.option is MemoryOption.SHARED,
         )
 
-    def allocations(self) -> tuple[InstanceAllocation, ...]:
+    def allocations(self, spec: GPUSpec = A100_SPEC) -> tuple[InstanceAllocation, ...]:
         """Resources visible to every application, in application order."""
-        return tuple(self.allocation_for(i) for i in range(self.n_apps))
+        return tuple(self.allocation_for(i, spec) for i in range(self.n_apps))
 
     def swapped(self) -> "PartitionState":
         """The same state with the application order reversed.
@@ -162,10 +280,15 @@ class PartitionState:
         Swapping S1 gives S2, swapping S3 gives S4 — useful when enumerating
         job-allocation alternatives.
         """
+        gi_groups = None
+        if self.gi_groups is not None:
+            reversed_groups = tuple(reversed(self.gi_groups))
+            gi_groups = _normalize_groups(reversed_groups)
         return PartitionState(
             gpc_allocations=tuple(reversed(self.gpc_allocations)),
             option=self.option,
             label=None,
+            gi_groups=gi_groups,
         )
 
     def validate_against(self, spec: GPUSpec) -> None:
@@ -174,26 +297,53 @@ class PartitionState:
         Raises
         ------
         repro.errors.PartitioningError
-            If the state needs more GPCs or memory slices than MIG exposes.
+            If the state needs instance profiles, GPCs, or memory slices
+            that MIG does not expose on ``spec``.
         """
-        if self.total_gpcs > spec.mig_gpcs:
+        for gpcs in self.gpc_allocations:
+            if gpcs not in spec.mig_instance_sizes:
+                raise PartitioningError(
+                    f"state {self.describe()} uses a {gpcs}-GPC instance but "
+                    f"{spec.name} only offers sizes {spec.mig_instance_sizes}"
+                )
+        if self.option is MemoryOption.SHARED:
+            needed_gpcs = self.total_gpcs
+            needed_slices = 0
+        else:
+            try:
+                gi_sizes = [
+                    self.gi_size_for_group(members, spec) for members in self.groups()
+                ]
+            except SpecificationError as exc:
+                raise PartitioningError(f"state {self.describe()}: {exc}") from None
+            needed_gpcs = sum(gi_sizes)
+            needed_slices = sum(spec.instance_mem_slices(size) for size in gi_sizes)
+        if needed_gpcs > spec.mig_gpcs:
             raise PartitioningError(
-                f"state {self.describe()} needs {self.total_gpcs} GPCs but MIG "
+                f"state {self.describe()} needs {needed_gpcs} GPCs but MIG "
                 f"exposes only {spec.mig_gpcs}"
             )
-        if self.option is MemoryOption.PRIVATE:
-            needed_slices = sum(
-                GPC_TO_MEM_SLICES[g] for g in self.gpc_allocations
+        if needed_slices > spec.n_mem_slices:
+            raise PartitioningError(
+                f"state {self.describe()} needs {needed_slices} memory slices "
+                f"but the chip has only {spec.n_mem_slices}"
             )
-            if needed_slices > spec.n_mem_slices:
-                raise PartitioningError(
-                    f"state {self.describe()} needs {needed_slices} memory slices "
-                    f"but the chip has only {spec.n_mem_slices}"
-                )
 
     def describe(self) -> str:
-        """Human-readable description, e.g. ``"4GPCs-3GPCs/Shared"``."""
-        gpcs = "-".join(f"{g}GPCs" for g in self.gpc_allocations)
+        """Human-readable description, e.g. ``"4GPCs-3GPCs/Shared"``.
+
+        Mixed states annotate each application with its GPU-Instance group,
+        e.g. ``"1GPCs@g0-1GPCs@g0-2GPCs@g1/Mixed"``, so two states that
+        differ only in job allocation stay distinguishable.
+        """
+        if self.option is MemoryOption.MIXED:
+            assert self.gi_groups is not None
+            gpcs = "-".join(
+                f"{g}GPCs@g{group}"
+                for g, group in zip(self.gpc_allocations, self.gi_groups)
+            )
+        else:
+            gpcs = "-".join(f"{g}GPCs" for g in self.gpc_allocations)
         name = f"{gpcs}/{self.option.value.capitalize()}"
         if self.label:
             return f"{self.label}({name})"
@@ -201,6 +351,8 @@ class PartitionState:
 
     def key(self) -> tuple:
         """Hashable identity ignoring the label (used as model dictionary key)."""
+        if self.gi_groups is not None:
+            return (self.gpc_allocations, self.option.value, self.gi_groups)
         return (self.gpc_allocations, self.option.value)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -239,6 +391,105 @@ def solo_states(
     return tuple(solo_state(g, o) for o in options for g in sizes)
 
 
+def _set_partitions(n: int) -> Iterator[tuple[int, ...]]:
+    """All partitions of ``range(n)`` as canonical group-id tuples.
+
+    Group ids are 0-based in order of first appearance, so every set
+    partition is produced exactly once (restricted growth strings).
+    """
+
+    def extend(prefix: list[int]) -> Iterator[tuple[int, ...]]:
+        if len(prefix) == n:
+            yield tuple(prefix)
+            return
+        n_groups = max(prefix) + 1 if prefix else 0
+        for group in range(n_groups + 1):
+            prefix.append(group)
+            yield from extend(prefix)
+            prefix.pop()
+
+    yield from extend([])
+
+
+def _mixed_groupings(n_apps: int) -> tuple[tuple[int, ...], ...]:
+    """Canonical ``gi_groups`` tuples that qualify as *mixed* layouts."""
+    groupings = []
+    for groups in _set_partitions(n_apps):
+        n_groups = max(groups) + 1
+        largest = max(groups.count(g) for g in range(n_groups))
+        if n_groups >= 2 and largest >= 2:
+            groupings.append(groups)
+    return tuple(groupings)
+
+
+def enumerate_partition_states(
+    n_apps: int,
+    spec: GPUSpec = A100_SPEC,
+    options: Sequence[MemoryOption] = (
+        MemoryOption.SHARED,
+        MemoryOption.PRIVATE,
+        MemoryOption.MIXED,
+    ),
+) -> Iterator[PartitionState]:
+    """Every realizable ``n_apps``-application partition state on ``spec``.
+
+    This generator is the N-way replacement of the S1–S4 table: states are
+    derived from the spec's MIG instance profiles instead of being
+    hard-coded, job allocation is part of the state (every ordering of the
+    GPC split is a distinct state), and the *mixed* option enumerates every
+    way of grouping three or more applications into GPU Instances.  Mixed
+    layouts require at least three applications, so requesting the option
+    for pairs simply yields nothing.
+    """
+    if n_apps < 1:
+        raise SpecificationError(f"n_apps must be >= 1, got {n_apps}")
+    if n_apps > spec.mig_gpcs:
+        # Every application needs at least one GPC, so no state can exist.
+        return
+    # PartitionState only accepts sizes from the built-in superset
+    # (VALID_INSTANCE_SIZES); a custom spec advertising e.g. a 5-GPC
+    # profile can drive MIGManager directly but cannot appear in
+    # partition states, so it is excluded here rather than crashing.
+    sizes = tuple(
+        s
+        for s in spec.mig_instance_sizes
+        if s in VALID_INSTANCE_SIZES and s <= spec.mig_gpcs
+    )
+
+    def allocation_tuples(
+        prefix: list[int], remaining: int
+    ) -> Iterator[tuple[int, ...]]:
+        # Depth-first in size order: yields the same sequence as filtering
+        # itertools.product, but prunes branches whose GPC total already
+        # exceeds the chip (no option could ever realize them).
+        if remaining == 0:
+            yield tuple(prefix)
+            return
+        budget = spec.mig_gpcs - sum(prefix) - (remaining - 1)
+        for size in sizes:
+            if size > budget:
+                continue
+            prefix.append(size)
+            yield from allocation_tuples(prefix, remaining - 1)
+            prefix.pop()
+
+    for option in options:
+        option = MemoryOption(option)
+        groupings: Sequence[tuple[int, ...] | None]
+        if option is MemoryOption.MIXED:
+            groupings = _mixed_groupings(n_apps)
+        else:
+            groupings = (None,)
+        for allocations in allocation_tuples([], n_apps):
+            for gi_groups in groupings:
+                candidate = PartitionState(allocations, option, gi_groups=gi_groups)
+                try:
+                    candidate.validate_against(spec)
+                except PartitioningError:
+                    continue
+                yield candidate
+
+
 def enumerate_corun_states(
     spec: GPUSpec = A100_SPEC,
     options: Sequence[MemoryOption] = (MemoryOption.SHARED, MemoryOption.PRIVATE),
@@ -248,17 +499,10 @@ def enumerate_corun_states(
     The paper evaluates the 4+3 split only (Table 5), but the optimizer is
     written against this generic enumeration so that finer-grained future
     hardware (the paper's Section 6 discussion) is covered by construction.
+    Kept as the two-application special case of
+    :func:`enumerate_partition_states`.
     """
-    states: list[PartitionState] = []
-    for option in options:
-        for g1, g2 in itertools.product(VALID_INSTANCE_SIZES, repeat=2):
-            candidate = PartitionState((g1, g2), option)
-            try:
-                candidate.validate_against(spec)
-            except PartitioningError:
-                continue
-            states.append(candidate)
-    return tuple(states)
+    return tuple(enumerate_partition_states(2, spec, options))
 
 
 # ----------------------------------------------------------------------
@@ -357,17 +601,18 @@ class MIGManager:
     def create_gpu_instance(self, gpcs: int, mem_slices: int | None = None) -> GPUInstance:
         """Create a GPU Instance owning ``gpcs`` GPCs.
 
-        ``mem_slices`` defaults to the A100 profile mapping
-        (:data:`GPC_TO_MEM_SLICES`).
+        ``mem_slices`` defaults to the spec's profile mapping
+        (:data:`GPC_TO_MEM_SLICES` for the A100).
         """
         if not self.mig_enabled:
             raise PartitioningError("MIG mode must be enabled before creating instances")
-        if gpcs not in VALID_INSTANCE_SIZES:
+        if gpcs not in self._spec.mig_instance_sizes:
             raise PartitioningError(
-                f"{gpcs} GPCs is not a valid GPU Instance size; valid: {VALID_INSTANCE_SIZES}"
+                f"{gpcs} GPCs is not a valid GPU Instance size on {self._spec.name}; "
+                f"valid: {self._spec.mig_instance_sizes}"
             )
         if mem_slices is None:
-            mem_slices = GPC_TO_MEM_SLICES[gpcs]
+            mem_slices = self._spec.instance_mem_slices(gpcs)
         gi_id = self._next_gi_id
         try:
             self._topology.claim_gpcs(gi_id, gpcs)
@@ -394,9 +639,10 @@ class MIGManager:
         instance = self._instances.get(gi_id)
         if instance is None:
             raise PartitioningError(f"no GPU Instance with id {gi_id}")
-        if gpcs not in VALID_INSTANCE_SIZES:
+        if gpcs not in self._spec.mig_instance_sizes:
             raise PartitioningError(
-                f"{gpcs} GPCs is not a valid Compute Instance size; valid: {VALID_INSTANCE_SIZES}"
+                f"{gpcs} GPCs is not a valid Compute Instance size on {self._spec.name}; "
+                f"valid: {self._spec.mig_instance_sizes}"
             )
         if gpcs > instance.free_gpcs:
             raise PartitioningError(
@@ -467,21 +713,27 @@ class MIGManager:
 
         The previous layout is torn down first.  For the *private* option one
         GI is created per application; for the *shared* option a single
-        full-size GI hosts one CI per application.
+        full-size GI hosts one CI per application; for the *mixed* option one
+        GI is created per ``gi_groups`` group (sized to the smallest profile
+        that fits the group) hosting one CI per member.
         """
         state.validate_against(self._spec)
         self.reset()
         self.enable_mig()
-        cis: list[ComputeInstance] = []
-        if state.option is MemoryOption.PRIVATE:
-            for gpcs in state.gpc_allocations:
-                gi = self.create_gpu_instance(gpcs)
-                cis.append(self.create_compute_instance(gi.gi_id, gpcs))
-        else:
+        cis: dict[int, ComputeInstance] = {}
+        if state.option is MemoryOption.SHARED:
             gi = self.create_gpu_instance(self._spec.mig_gpcs, self._spec.n_mem_slices)
-            for gpcs in state.gpc_allocations:
-                cis.append(self.create_compute_instance(gi.gi_id, gpcs))
-        return tuple(cis)
+            for index, gpcs in enumerate(state.gpc_allocations):
+                cis[index] = self.create_compute_instance(gi.gi_id, gpcs)
+        else:
+            for members in state.groups():
+                gi_size = state.gi_size_for_group(members, self._spec)
+                gi = self.create_gpu_instance(gi_size)
+                for index in members:
+                    cis[index] = self.create_compute_instance(
+                        gi.gi_id, state.gpc_allocations[index]
+                    )
+        return tuple(cis[index] for index in range(state.n_apps))
 
     def iter_visible_devices(self) -> Iterator[str]:
         """UUIDs of all Compute Instances, as a scheduler would enumerate them."""

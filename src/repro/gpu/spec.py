@@ -145,6 +145,16 @@ class GPUSpec:
     dvfs_exponent:
         Exponent of the dynamic-power-vs-frequency curve (``P_dyn ∝ f**e``,
         with ``e ≈ 2.4`` approximating the combined V/f scaling).
+
+    MIG profile parameters
+    ----------------------
+    mig_instance_sizes:
+        GPC counts for which a GPU/Compute Instance profile exists.  On the
+        A100 these are 1, 2, 3, 4 and 7 (no 5- or 6-GPC instances).
+    mig_mem_slices:
+        Memory slices granted to a GPU Instance of each size under the
+        private option (the paper, Section 3).  Keys must cover exactly
+        ``mig_instance_sizes``.
     """
 
     name: str = "Simulated-A100-40GB"
@@ -178,6 +188,10 @@ class GPUSpec:
     hbm_idle_power_w: float = 20.0
     hbm_dynamic_power_w: float = 55.0
     dvfs_exponent: float = 2.4
+    mig_instance_sizes: tuple[int, ...] = (1, 2, 3, 4, 7)
+    mig_mem_slices: Mapping[int, int] = field(
+        default_factory=lambda: {1: 1, 2: 2, 3: 4, 4: 4, 7: 8}
+    )
 
     def __post_init__(self) -> None:
         if self.n_gpcs <= 0:
@@ -230,6 +244,25 @@ class GPUSpec:
             if value <= 0:
                 raise SpecificationError(
                     f"pipe_tflops[{pipe.value}] must be positive, got {value}"
+                )
+        if not self.mig_instance_sizes:
+            raise SpecificationError("mig_instance_sizes must not be empty")
+        if tuple(sorted(set(self.mig_instance_sizes))) != tuple(self.mig_instance_sizes):
+            raise SpecificationError(
+                f"mig_instance_sizes must be strictly increasing, got {self.mig_instance_sizes}"
+            )
+        for size in self.mig_instance_sizes:
+            if size <= 0:
+                raise SpecificationError(f"instance size {size} must be positive")
+        missing_sizes = [s for s in self.mig_instance_sizes if s not in self.mig_mem_slices]
+        if missing_sizes:
+            raise SpecificationError(
+                f"mig_mem_slices is missing entries for instance sizes: {missing_sizes}"
+            )
+        for size, slices in self.mig_mem_slices.items():
+            if not (0 < slices <= self.n_mem_slices):
+                raise SpecificationError(
+                    f"mig_mem_slices[{size}] must be in (0, {self.n_mem_slices}], got {slices}"
                 )
 
     # ------------------------------------------------------------------
@@ -289,6 +322,26 @@ class GPUSpec:
             )
         return float(power_cap_w)
 
+    def instance_mem_slices(self, gpcs: int) -> int:
+        """Memory slices a private GPU Instance of ``gpcs`` GPCs receives."""
+        try:
+            return self.mig_mem_slices[gpcs]
+        except KeyError:
+            raise SpecificationError(
+                f"{gpcs} GPCs is not a valid instance size on {self.name}; "
+                f"valid sizes are {self.mig_instance_sizes}"
+            ) from None
+
+    def smallest_instance_holding(self, gpcs: int) -> int:
+        """The smallest MIG instance size that can host ``gpcs`` GPCs."""
+        for size in self.mig_instance_sizes:
+            if size >= gpcs:
+                return size
+        raise SpecificationError(
+            f"no instance profile on {self.name} can hold {gpcs} GPCs "
+            f"(largest is {self.mig_instance_sizes[-1]})"
+        )
+
     def with_overrides(self, **kwargs: object) -> "GPUSpec":
         """Return a copy of this spec with selected fields replaced."""
         return replace(self, **kwargs)  # type: ignore[arg-type]
@@ -296,3 +349,95 @@ class GPUSpec:
 
 #: Default specification modelled after the paper's NVIDIA A100 40 GB PCIe.
 A100_SPEC = GPUSpec()
+
+#: An H100-SXM-style part: same 7-GPC MIG layout as the A100 but with much
+#: higher pipe throughputs, HBM3 bandwidth, and a far larger power envelope.
+H100_SPEC = GPUSpec(
+    name="Simulated-H100-80GB",
+    n_gpcs=8,
+    mig_gpcs=7,
+    sms_per_gpc=16,
+    pipe_tflops={
+        Pipe.FP32: 67.0,
+        Pipe.FP64: 34.0,
+        Pipe.TENSOR_MIXED: 989.0,
+        Pipe.TENSOR_DOUBLE: 67.0,
+        Pipe.TENSOR_INT: 1979.0,
+    },
+    dram_bandwidth_gbs=3350.0,
+    n_mem_slices=8,
+    l2_cache_mb=50.0,
+    hbm_capacity_gb=80.0,
+    max_clock_ghz=1.980,
+    base_clock_ghz=1.590,
+    min_clock_ghz=0.450,
+    clock_step_ghz=0.015,
+    default_power_limit_w=700.0,
+    min_power_cap_w=200.0,
+    max_power_cap_w=700.0,
+    static_power_w=60.0,
+    gpc_idle_power_w=5.0,
+    gpc_cuda_power_w=42.0,
+    gpc_tensor_power_w=62.0,
+    hbm_idle_power_w=45.0,
+    hbm_dynamic_power_w=130.0,
+)
+
+#: An A30-style part: 4 GPCs, 4 memory slices, and a coarser MIG profile
+#: table (no 3-GPC instance exists on the A30).
+A30_SPEC = GPUSpec(
+    name="Simulated-A30-24GB",
+    n_gpcs=4,
+    mig_gpcs=4,
+    sms_per_gpc=14,
+    pipe_tflops={
+        Pipe.FP32: 10.3,
+        Pipe.FP64: 5.2,
+        Pipe.TENSOR_MIXED: 165.0,
+        Pipe.TENSOR_DOUBLE: 10.3,
+        Pipe.TENSOR_INT: 330.0,
+    },
+    dram_bandwidth_gbs=933.0,
+    n_mem_slices=4,
+    l2_cache_mb=24.0,
+    hbm_capacity_gb=24.0,
+    max_clock_ghz=1.440,
+    base_clock_ghz=0.930,
+    min_clock_ghz=0.420,
+    clock_step_ghz=0.015,
+    default_power_limit_w=165.0,
+    min_power_cap_w=100.0,
+    max_power_cap_w=165.0,
+    static_power_w=18.0,
+    gpc_idle_power_w=2.5,
+    gpc_cuda_power_w=14.0,
+    gpc_tensor_power_w=20.0,
+    hbm_idle_power_w=12.0,
+    hbm_dynamic_power_w=30.0,
+    mig_instance_sizes=(1, 2, 4),
+    mig_mem_slices={1: 1, 2: 2, 4: 4},
+)
+
+#: Registry of the built-in hardware specifications, by short name.
+GPU_SPECS: Mapping[str, GPUSpec] = {
+    "a100": A100_SPEC,
+    "h100": H100_SPEC,
+    "a30": A30_SPEC,
+}
+
+
+def spec_by_name(name: str) -> GPUSpec:
+    """Look up a built-in :class:`GPUSpec` by short name (case-insensitive).
+
+    Raises
+    ------
+    repro.errors.SpecificationError
+        If no specification with that name exists, listing the valid names.
+    """
+    key = name.strip().lower()
+    try:
+        return GPU_SPECS[key]
+    except KeyError:
+        raise SpecificationError(
+            f"unknown GPU spec {name!r}; valid names are {sorted(GPU_SPECS)}"
+        ) from None

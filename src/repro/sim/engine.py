@@ -35,7 +35,7 @@ from repro.sim.roofline import TimeComponents, bound_of, elapsed_time
 from repro.workloads.kernel import KernelCharacteristics
 
 #: Iterations of the bandwidth-contention fixed point (damped; converges in
-#: a handful of steps for two applications).
+#: a handful of steps for small co-location groups).
 _BANDWIDTH_ITERATIONS = 40
 
 #: Damping factor of the fixed point (new = d*new + (1-d)*old).
@@ -51,8 +51,10 @@ class _Placement:
     #: Peak DRAM bandwidth reachable by this application, as a fraction of
     #: the full-chip bandwidth (its private slices, or its pool's capacity).
     bandwidth_capacity: float
-    #: Whether this application draws from a shared bandwidth pool.
-    shared_pool: bool
+    #: Identifier of the shared bandwidth pool (the GPU Instance) this
+    #: application draws from, or ``None`` for a private placement.  Mixed
+    #: partition states produce several independent pools.
+    pool: int | None
     #: Interference penalties (>= 1); 1.0 for private/solo placements.
     compute_penalty: float = 1.0
     memory_penalty: float = 1.0
@@ -149,7 +151,7 @@ class PerformanceSimulator:
             kernel=kernel,
             gpcs=self._spec.n_gpcs,
             bandwidth_capacity=1.0,
-            shared_pool=False,
+            pool=None,
         )
         solved, _, _ = self._solve(
             [placement],
@@ -190,7 +192,13 @@ class PerformanceSimulator:
         state: PartitionState,
         power_cap_w: float | None = None,
     ) -> CoRunResult:
-        """Co-execute ``kernels`` under partition state ``state``."""
+        """Co-execute a group of ``kernels`` under partition state ``state``.
+
+        The group may have any size the state describes (N >= 1): solo runs
+        and the paper's pairs are the N=1 and N=2 special cases, and mixed
+        states with several shared GPU Instances are resolved with one
+        bandwidth pool per instance.
+        """
         if state.n_apps != len(kernels):
             raise SimulationError(
                 f"state {state.describe()} describes {state.n_apps} applications "
@@ -262,13 +270,27 @@ class PerformanceSimulator:
         state: PartitionState,
         kernels: tuple[KernelCharacteristics, ...],
     ) -> list[_Placement]:
+        """One placement per application; pools follow the GI grouping.
+
+        Interference (cache pollution, bandwidth contention) only couples
+        applications that share a GPU Instance: all of them under the shared
+        option, the members of each ``gi_groups`` group under the mixed
+        option, nobody under the private option.
+        """
         placements: list[_Placement] = []
-        shared = state.option is MemoryOption.SHARED
+        groups = state.groups()
+        pool_of: dict[int, int] = {}
+        for pool_id, members in enumerate(groups):
+            is_pool = state.option is MemoryOption.SHARED or len(members) > 1
+            for index in members:
+                if is_pool:
+                    pool_of[index] = pool_id
         for index, kernel in enumerate(kernels):
-            allocation = state.allocation_for(index)
+            allocation = state.allocation_for(index, self._spec)
             bandwidth_capacity = allocation.mem_slices / self._spec.n_mem_slices
-            others = [k for j, k in enumerate(kernels) if j != index]
-            if shared and others:
+            co_located = state.group_of(index)
+            others = [kernels[j] for j in co_located if j != index]
+            if others:
                 compute_penalty = self._interference.compute_penalty(kernel, others)
                 memory_penalty = self._interference.memory_penalty(kernel, others)
             else:
@@ -279,7 +301,7 @@ class PerformanceSimulator:
                     kernel=kernel,
                     gpcs=allocation.gpcs,
                     bandwidth_capacity=bandwidth_capacity,
-                    shared_pool=shared,
+                    pool=pool_of.get(index),
                     compute_penalty=compute_penalty,
                     memory_penalty=memory_penalty,
                 )
@@ -337,8 +359,13 @@ class PerformanceSimulator:
             max(compute_times[i], memory_times[i]) + serial_times[i] for i in range(n)
         ]
 
-        shared_indices = [i for i in range(n) if placements[i].shared_pool]
-        if len(shared_indices) > 1:
+        pools: dict[int, list[int]] = {}
+        for i in range(n):
+            if placements[i].pool is not None:
+                pools.setdefault(placements[i].pool, []).append(i)
+        for shared_indices in pools.values():
+            if len(shared_indices) <= 1:
+                continue
             pool_capacity = max(
                 placements[i].bandwidth_capacity for i in shared_indices
             )

@@ -32,6 +32,15 @@ from repro.workloads.classification import (
     classify_kernel,
 )
 from repro.workloads.pairs import CORUN_PAIRS, CoRunPair, corun_pair, corun_pair_names
+from repro.workloads.groups import (
+    CORUN_GROUPS,
+    CORUN_QUADS,
+    CORUN_TRIPLES,
+    CoRunGroup,
+    corun_group,
+    corun_group_names,
+    groups_of_size,
+)
 from repro.workloads.synthetic import SyntheticWorkloadGenerator
 
 __all__ = [
@@ -54,5 +63,12 @@ __all__ = [
     "CoRunPair",
     "corun_pair",
     "corun_pair_names",
+    "CORUN_GROUPS",
+    "CORUN_TRIPLES",
+    "CORUN_QUADS",
+    "CoRunGroup",
+    "corun_group",
+    "corun_group_names",
+    "groups_of_size",
     "SyntheticWorkloadGenerator",
 ]

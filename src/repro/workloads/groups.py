@@ -1,0 +1,144 @@
+"""N-way co-run workload groups (the Section 6 extension of Table 8).
+
+The paper evaluates two-application workloads only (Table 8, encoded in
+:mod:`repro.workloads.pairs`); its Section 6 names co-locating *more* than
+two applications as the natural extension.  This module provides the group
+generalization: :class:`CoRunGroup` describes a named N-application
+workload, and a small set of three- and four-application groups — drawn
+from the same benchmark classes as Table 8 — is exported for evaluation and
+testing of the N-way engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.errors import WorkloadError
+from repro.workloads.kernel import KernelCharacteristics, WorkloadClass
+from repro.workloads.pairs import CORUN_PAIRS, CoRunPair
+from repro.workloads.suite import BenchmarkSuite, DEFAULT_SUITE
+
+
+@dataclass(frozen=True)
+class CoRunGroup:
+    """One co-scheduled workload: a named group of N >= 2 applications.
+
+    Attributes
+    ----------
+    name:
+        Workload name, e.g. ``"TI-MI-US1"``.
+    apps:
+        Benchmark names in application order (App1 first, matching the
+        partition states' ``gpc_allocations`` order).
+    classes:
+        Benchmark class of each application, in the same order.
+    """
+
+    name: str
+    apps: tuple[str, ...]
+    classes: tuple[WorkloadClass, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.apps) < 2:
+            raise WorkloadError(
+                f"co-run group {self.name!r} needs >= 2 applications, got {len(self.apps)}"
+            )
+        if len(self.classes) != len(self.apps):
+            raise WorkloadError(
+                f"co-run group {self.name!r} has {len(self.apps)} applications "
+                f"but {len(self.classes)} classes"
+            )
+
+    @property
+    def n_apps(self) -> int:
+        """Number of co-located applications."""
+        return len(self.apps)
+
+    @property
+    def app_names(self) -> tuple[str, ...]:
+        """All application names in order (mirrors ``CoRunPair.app_names``)."""
+        return self.apps
+
+    def kernels(self, suite: BenchmarkSuite | None = None) -> tuple[KernelCharacteristics, ...]:
+        """Resolve every application to its kernel model."""
+        resolved = suite or DEFAULT_SUITE
+        return tuple(resolved.get(app) for app in self.apps)
+
+    def describe(self) -> str:
+        """Human-readable description, e.g. ``"TI-MI-US1 = (hgemm, stream, bfs)"``."""
+        return f"{self.name} = ({', '.join(self.apps)})"
+
+    @classmethod
+    def from_pair(cls, pair: CoRunPair) -> "CoRunGroup":
+        """The group view of a Table 8 pair."""
+        return cls(
+            name=pair.name,
+            apps=(pair.app1, pair.app2),
+            classes=(pair.class1, pair.class2),
+        )
+
+
+def _group(name: str, *apps: str) -> CoRunGroup:
+    class_labels = name.rstrip("0123456789").split("-")
+    return CoRunGroup(
+        name=name,
+        apps=tuple(apps),
+        classes=tuple(WorkloadClass(label) for label in class_labels),
+    )
+
+
+#: Three-application workloads, one per distinct class combination that the
+#: Table 8 methodology (one benchmark per class) extends to naturally.
+CORUN_TRIPLES: tuple[CoRunGroup, ...] = (
+    _group("TI-MI-US1", "hgemm", "stream", "bfs"),
+    _group("TI-CI-MI1", "igemm4", "sgemm", "gaussian"),
+    _group("CI-MI-US1", "dgemm", "lud", "needle"),
+    _group("TI-TI-MI1", "fp16gemm", "tf32gemm", "randomaccess"),
+    _group("MI-US-US1", "leukocyte", "kmeans", "dwt2d"),
+    _group("CI-CI-US1", "lavaMD", "hotspot", "pathfinder"),
+)
+
+#: Four-application workloads exercising the widest co-location the 7-GPC
+#: MIG partition supports with at least one GPC per application.
+CORUN_QUADS: tuple[CoRunGroup, ...] = (
+    _group("TI-CI-MI-US1", "igemm4", "sgemm", "stream", "bfs"),
+    _group("TI-MI-US-US1", "hgemm", "lud", "kmeans", "needle"),
+    _group("CI-CI-MI-US1", "dgemm", "hotspot", "gaussian", "dwt2d"),
+)
+
+#: Every predefined N-way group (pairs excluded; see ``CORUN_PAIRS``).
+CORUN_GROUPS: tuple[CoRunGroup, ...] = CORUN_TRIPLES + CORUN_QUADS
+
+
+def corun_group_names() -> tuple[str, ...]:
+    """All predefined N-way workload names, in definition order."""
+    return tuple(group.name for group in CORUN_GROUPS)
+
+
+def corun_group(name: str) -> CoRunGroup:
+    """Look up a predefined N-way workload (or a Table 8 pair) by name."""
+    for group in CORUN_GROUPS:
+        if group.name == name:
+            return group
+    for pair in CORUN_PAIRS:
+        if pair.name == name:
+            return CoRunGroup.from_pair(pair)
+    known = corun_group_names() + tuple(pair.name for pair in CORUN_PAIRS)
+    raise WorkloadError(f"unknown co-run workload {name!r}; known: {known}")
+
+
+def groups_of_size(n_apps: int) -> tuple[CoRunGroup, ...]:
+    """Every predefined group (pairs included) with exactly ``n_apps`` members."""
+    if n_apps == 2:
+        return tuple(CoRunGroup.from_pair(pair) for pair in CORUN_PAIRS)
+    return tuple(group for group in CORUN_GROUPS if group.n_apps == n_apps)
+
+
+def iter_group_kernels(
+    groups: Sequence[CoRunGroup] = CORUN_GROUPS,
+    suite: BenchmarkSuite | None = None,
+) -> Iterator[tuple[CoRunGroup, tuple[KernelCharacteristics, ...]]]:
+    """Yield each group together with its resolved kernel models."""
+    for group in groups:
+        yield group, group.kernels(suite)

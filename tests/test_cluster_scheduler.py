@@ -174,3 +174,66 @@ class TestJobManager:
         manager = JobManager.from_workflow(workflow, n_nodes=1)
         report = manager.run_exclusive([DEFAULT_SUITE.get("dgemm")])
         assert "makespan" in report.summary()
+
+
+class TestSchedulerConfigValidation:
+    def test_defaults_are_valid(self):
+        config = SchedulerConfig()
+        assert config.window_size == 4
+        assert config.group_size == 2
+
+    def test_rejects_bad_window_size(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(window_size=0)
+
+    def test_rejects_bad_group_size(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(group_size=0)
+
+    def test_rejects_unknown_policy_name(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            SchedulerConfig(policy_name="problem3")
+        assert "problem3" in str(excinfo.value)
+        assert "problem1" in str(excinfo.value)
+
+    def test_accepts_policy_aliases(self):
+        for name in ("problem1", "throughput", "problem2", "energy-efficiency"):
+            SchedulerConfig(policy_name=name)
+
+    def test_rejects_bad_power_cap(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(power_cap_w=0.0)
+
+    def test_rejects_bad_alpha(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            SchedulerConfig(alpha=-0.1)
+
+
+class TestGroupSizeOne:
+    def test_group_size_one_disables_co_location(self, workflow, node):
+        """group_size=1 means one job per GPU: no pairing ever happens."""
+        config = SchedulerConfig(
+            policy_name="problem1", power_cap_w=250.0, group_size=1
+        )
+        scheduler = CoScheduler(workflow.online, config)
+        queue = JobQueue()
+        queue.submit(DEFAULT_SUITE.get("igemm4"))
+        queue.submit(DEFAULT_SUITE.get("stream"))
+        plan = scheduler.plan_next(queue)
+        assert len(plan.jobs) == 1
+        assert plan.decision is None
+        assert "group_size=1" in plan.reason
+        scheduler.dispatch(plan, queue, node, time=0.0)
+        assert plan.jobs[0].co_runner is None

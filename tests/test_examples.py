@@ -21,6 +21,7 @@ EXAMPLES = [
     "power_capped_coscheduling",
     "cluster_job_manager",
     "telemetry_and_export",
+    "nway_colocation",
 ]
 
 

@@ -228,3 +228,124 @@ class TestMIGManager:
     def test_visible_devices_lists_all_cis(self, manager):
         cis = manager.apply_partition_state(S4)
         assert set(manager.iter_visible_devices()) == {ci.uuid for ci in cis}
+
+
+class TestNWayEnumeration:
+    def test_pairs_are_the_n2_special_case(self):
+        from repro.gpu.mig import enumerate_partition_states
+
+        assert enumerate_corun_states() == tuple(
+            enumerate_partition_states(
+                2, A100_SPEC, (MemoryOption.SHARED, MemoryOption.PRIVATE)
+            )
+        )
+
+    def test_all_enumerated_states_are_valid(self):
+        from repro.gpu.mig import enumerate_partition_states
+
+        for n_apps in (1, 2, 3, 4):
+            states = tuple(enumerate_partition_states(n_apps, A100_SPEC))
+            assert states
+            keys = set()
+            for state in states:
+                assert state.n_apps == n_apps
+                state.validate_against(A100_SPEC)
+                keys.add(state.key())
+            assert len(keys) == len(states)  # no duplicates
+
+    def test_mixed_states_need_three_apps(self):
+        from repro.gpu.mig import enumerate_partition_states
+
+        for n_apps in (1, 2):
+            states = tuple(enumerate_partition_states(n_apps, A100_SPEC))
+            assert all(s.option is not MemoryOption.MIXED for s in states)
+        triples = tuple(enumerate_partition_states(3, A100_SPEC))
+        assert any(s.option is MemoryOption.MIXED for s in triples)
+
+    def test_enumeration_respects_spec_profile(self):
+        from repro.gpu.mig import enumerate_partition_states
+        from repro.gpu.spec import A30_SPEC
+
+        for state in enumerate_partition_states(2, A30_SPEC):
+            assert all(g in A30_SPEC.mig_instance_sizes for g in state.gpc_allocations)
+            assert state.total_gpcs <= A30_SPEC.mig_gpcs
+
+    def test_invalid_n_apps_rejected(self):
+        from repro.gpu.mig import enumerate_partition_states
+
+        with pytest.raises(SpecificationError):
+            next(enumerate_partition_states(0))
+
+
+class TestMixedStates:
+    def test_mixed_requires_gi_groups(self):
+        with pytest.raises(SpecificationError):
+            PartitionState((2, 2, 3), MemoryOption.MIXED)
+
+    def test_gi_groups_only_for_mixed(self):
+        with pytest.raises(SpecificationError):
+            PartitionState((2, 2), MemoryOption.SHARED, gi_groups=(0, 0))
+
+    def test_degenerate_groupings_rejected(self):
+        # All in one group is just the shared option.
+        with pytest.raises(SpecificationError):
+            PartitionState((2, 2, 3), MemoryOption.MIXED, gi_groups=(0, 0, 0))
+        # All singletons is just the private option.
+        with pytest.raises(SpecificationError):
+            PartitionState((2, 2, 3), MemoryOption.MIXED, gi_groups=(0, 1, 2))
+        # Non-canonical ids are rejected.
+        with pytest.raises(SpecificationError):
+            PartitionState((2, 2, 3), MemoryOption.MIXED, gi_groups=(1, 1, 0))
+
+    def test_mixed_allocation_and_validation(self):
+        state = PartitionState((2, 2, 3), MemoryOption.MIXED, gi_groups=(0, 0, 1))
+        state.validate_against(A100_SPEC)
+        first = state.allocation_for(0, A100_SPEC)
+        # Apps 0+1 share a 4-GPC GI (the smallest profile holding 2+2).
+        assert first.mem_slices == GPC_TO_MEM_SLICES[4]
+        assert first.shared_memory
+        third = state.allocation_for(2, A100_SPEC)
+        assert third.mem_slices == GPC_TO_MEM_SLICES[3]
+        assert not third.shared_memory
+
+    def test_mixed_describe_is_unambiguous(self):
+        a = PartitionState((1, 1, 2), MemoryOption.MIXED, gi_groups=(0, 0, 1))
+        b = PartitionState((1, 2, 1), MemoryOption.MIXED, gi_groups=(0, 1, 0))
+        assert a.describe() != b.describe()
+
+    def test_mixed_swapped_preserves_grouping(self):
+        state = PartitionState((2, 2, 3), MemoryOption.MIXED, gi_groups=(0, 0, 1))
+        swapped = state.swapped()
+        assert swapped.gpc_allocations == (3, 2, 2)
+        assert swapped.gi_groups == (0, 1, 1)
+        assert swapped.groups() == ((0,), (1, 2))
+
+    def test_manager_applies_mixed_state(self):
+        manager = MIGManager(A100_SPEC)
+        state = PartitionState((2, 2, 3), MemoryOption.MIXED, gi_groups=(0, 0, 1))
+        cis = manager.apply_partition_state(state)
+        assert len(cis) == 3
+        gis = manager.list_gpu_instances()
+        assert len(gis) == 2
+        assert sorted(gi.gpcs for gi in gis) == [3, 4]
+        # Apps 0 and 1 share the first GI, app 2 owns the second.
+        assert cis[0].gi_id == cis[1].gi_id != cis[2].gi_id
+
+
+class TestSpecAwareManager:
+    def test_a30_manager_rejects_a100_only_sizes(self):
+        from repro.gpu.spec import A30_SPEC
+
+        manager = MIGManager(A30_SPEC)
+        manager.enable_mig()
+        with pytest.raises(PartitioningError):
+            manager.create_gpu_instance(3)
+
+    def test_a30_manager_applies_pair_state(self):
+        from repro.gpu.spec import A30_SPEC
+
+        manager = MIGManager(A30_SPEC)
+        state = PartitionState((2, 2), MemoryOption.PRIVATE)
+        cis = manager.apply_partition_state(state)
+        assert len(cis) == 2
+        assert manager.free_gpcs == 0

@@ -128,3 +128,53 @@ class TestSpecValidation:
     def test_rejects_low_dvfs_exponent(self):
         with pytest.raises(SpecificationError):
             GPUSpec(dvfs_exponent=0.5)
+
+
+class TestSpecRegistry:
+    def test_builtin_specs_are_registered(self):
+        from repro.gpu.spec import A30_SPEC, GPU_SPECS, H100_SPEC, spec_by_name
+
+        assert GPU_SPECS["a100"] is A100_SPEC
+        assert spec_by_name("H100") is H100_SPEC
+        assert spec_by_name(" a30 ") is A30_SPEC
+
+    def test_unknown_spec_lists_valid_names(self):
+        from repro.gpu.spec import spec_by_name
+
+        with pytest.raises(SpecificationError) as excinfo:
+            spec_by_name("v100")
+        message = str(excinfo.value)
+        assert "v100" in message
+        assert "a100" in message and "h100" in message and "a30" in message
+
+
+class TestMIGProfileTable:
+    def test_a100_profile_matches_paper_mapping(self):
+        from repro.gpu.mig import GPC_TO_MEM_SLICES
+
+        assert dict(A100_SPEC.mig_mem_slices) == dict(GPC_TO_MEM_SLICES)
+        assert A100_SPEC.mig_instance_sizes == (1, 2, 3, 4, 7)
+
+    def test_a30_profile_is_coarser(self):
+        from repro.gpu.spec import A30_SPEC
+
+        assert A30_SPEC.mig_instance_sizes == (1, 2, 4)
+        assert A30_SPEC.instance_mem_slices(4) == A30_SPEC.n_mem_slices
+
+    def test_instance_mem_slices_rejects_unknown_size(self):
+        with pytest.raises(SpecificationError):
+            A100_SPEC.instance_mem_slices(5)
+
+    def test_smallest_instance_holding(self):
+        assert A100_SPEC.smallest_instance_holding(5) == 7
+        assert A100_SPEC.smallest_instance_holding(2) == 2
+        with pytest.raises(SpecificationError):
+            A100_SPEC.smallest_instance_holding(8)
+
+    def test_rejects_inconsistent_profile_table(self):
+        with pytest.raises(SpecificationError):
+            GPUSpec(mig_instance_sizes=(1, 2), mig_mem_slices={1: 1})
+        with pytest.raises(SpecificationError):
+            GPUSpec(mig_instance_sizes=(2, 1), mig_mem_slices={1: 1, 2: 2})
+        with pytest.raises(SpecificationError):
+            GPUSpec(mig_instance_sizes=(1,), mig_mem_slices={1: 99})
