@@ -7,6 +7,7 @@ that the offline calibration cost is paid exactly once.
 
 from __future__ import annotations
 
+import os
 import sys
 from pathlib import Path
 
@@ -17,6 +18,15 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 from repro.analysis.context import EvaluationContext  # noqa: E402
+
+#: CI sets REPRO_BENCH_SMOKE=1 to shrink the workloads while still running
+#: every benchmark end to end.
+SMOKE_MODE = os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+
+def scaled(full: int, smoke: int) -> int:
+    """``full`` normally, ``smoke`` when the suite runs in CI smoke mode."""
+    return smoke if SMOKE_MODE else full
 
 
 @pytest.fixture(scope="session")

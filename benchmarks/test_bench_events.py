@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the discrete-event cluster simulator.
+
+Reported in events/second over a 10k-job Poisson trace (1k in CI smoke
+mode).  The event loop has to stay cheap relative to the allocator work it
+triggers: the floor asserted here is deliberately loose (CI machines vary)
+but catches order-of-magnitude regressions such as an accidentally
+quadratic queue scan or a cache-defeating dispatch path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster.events import ClusterSimulator
+from repro.cluster.events.events import ArrivalEvent, EventHeap
+from repro.cluster.scheduler import SchedulerConfig
+from repro.core.workflow import PaperWorkflow
+from repro.traces import poisson_trace
+from repro.traces.trace import TraceEntry
+from repro.workloads.suite import DEFAULT_SUITE
+
+from conftest import emit, scaled
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    workflow = PaperWorkflow()
+    workflow.train()
+    return workflow
+
+
+def test_bench_event_loop_poisson_trace(workflow):
+    """Events/sec replaying a large Poisson trace through the full loop."""
+    n_jobs = scaled(10_000, 1_000)
+    trace = poisson_trace(8.0, n_jobs=n_jobs, seed=1)
+    simulator = ClusterSimulator.from_workflow(
+        workflow,
+        n_nodes=8,
+        scheduler_config=SchedulerConfig(
+            policy_name="problem1", power_cap_w=230.0, window_size=6
+        ),
+    )
+    start = time.perf_counter()
+    report = simulator.run(trace)
+    elapsed = time.perf_counter() - start
+    events_per_s = report.events_processed / elapsed
+
+    emit(
+        f"event loop: {n_jobs}-job Poisson trace",
+        f"{report.events_processed} events in {elapsed:.2f}s "
+        f"-> {events_per_s:,.0f} events/s\n{report.summary()}",
+    )
+    assert report.n_jobs == n_jobs
+    assert events_per_s > 500.0
+
+
+def test_bench_event_heap_throughput():
+    """Push/pop throughput of the bare event heap (no scheduling work)."""
+    n_events = scaled(200_000, 20_000)
+    kernel = DEFAULT_SUITE.get("stream")
+    events = [
+        ArrivalEvent(
+            time=float(i % 1000),
+            entry=TraceEntry(arrival_time_s=float(i % 1000), app="stream"),
+            kernel=kernel,
+        )
+        for i in range(n_events)
+    ]
+    heap = EventHeap()
+    start = time.perf_counter()
+    for event in events:
+        heap.push(event)
+    while not heap.empty:
+        heap.pop()
+    elapsed = time.perf_counter() - start
+    ops_per_s = 2 * n_events / elapsed
+
+    emit(
+        f"event heap: {n_events} push+pop",
+        f"{elapsed:.3f}s -> {ops_per_s:,.0f} ops/s",
+    )
+    assert ops_per_s > 50_000.0

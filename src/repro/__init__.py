@@ -62,8 +62,15 @@ from repro.gpu import (
     solo_state,
     spec_by_name,
 )
+from repro.cluster import (
+    ClusterSimulator,
+    JobManager,
+    SimulationConfig,
+    SimulationReport,
+)
 from repro.profiling import ProfileCollector, ProfileDatabase, ProfileRecord
 from repro.sim import CoRunResult, NoiseModel, PerformanceSimulator, RunResult
+from repro.traces import Trace, bursty_trace, load_trace, poisson_trace, save_trace
 from repro.workloads import (
     CORUN_GROUPS,
     CORUN_PAIRS,
@@ -127,4 +134,14 @@ __all__ = [
     "OfflineTrainer",
     "OnlineAllocator",
     "PaperWorkflow",
+    # Cluster + traces
+    "JobManager",
+    "ClusterSimulator",
+    "SimulationConfig",
+    "SimulationReport",
+    "Trace",
+    "poisson_trace",
+    "bursty_trace",
+    "load_trace",
+    "save_trace",
 ]

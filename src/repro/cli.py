@@ -12,6 +12,9 @@ workflow would be driven in a deployment:
   (Problem 1 or Problem 2), optionally on a non-A100 ``--spec``;
 * ``repro-cli states N`` — enumerate the realizable N-application
   partition states of a GPU spec;
+* ``repro-cli simulate`` — replay a job trace (from a file, or synthetic
+  Poisson/bursty arrivals) through the event-driven cluster simulator and
+  print online metrics (tail latencies, utilization, energy);
 * ``repro-cli accuracy`` — the Section 5.2.1 model-error statistic;
 * ``repro-cli figure N`` — regenerate the data behind one of the paper's
   figures (4, 5, 6, 8, 9, 10, 11, 12 or 13).
@@ -47,6 +50,7 @@ from repro.gpu.spec import GPU_SPECS, spec_by_name
 from repro.sim.engine import PerformanceSimulator
 from repro.sim.sweep import scalability_power_sweep, scalability_sweep
 from repro.workloads.classification import EXPECTED_CLASSIFICATION
+from repro.workloads.mixes import JOB_MIXES, mix_by_name
 from repro.workloads.suite import DEFAULT_SUITE
 
 
@@ -90,6 +94,85 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(GPU_SPECS),
         default="a100",
         help="hardware specification to simulate and optimize for",
+    )
+    decide.add_argument(
+        "--model",
+        default=None,
+        metavar="PATH",
+        help="model cache path: load trained coefficients from PATH if it "
+        "exists, otherwise train once and save them there",
+    )
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        help="replay a job trace through the event-driven cluster simulator",
+    )
+    simulate.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="trace file (.csv or .json); omit to generate a synthetic trace",
+    )
+    simulate.add_argument(
+        "--arrival-rate", type=float, default=2.0,
+        help="synthetic arrival rate in jobs/s (ignored with --trace)",
+    )
+    simulate.add_argument(
+        "--duration", type=float, default=600.0,
+        help="synthetic arrival window in seconds (ignored with --trace)",
+    )
+    simulate.add_argument(
+        "--jobs", type=int, default=None,
+        help="cap the synthetic trace at this many jobs",
+    )
+    simulate.add_argument(
+        "--burst-size", type=float, default=None, metavar="MEAN",
+        help="generate bursty arrivals with this mean burst size instead of "
+        "a plain Poisson process (burst rate = arrival rate / MEAN)",
+    )
+    simulate.add_argument(
+        "--mix", choices=sorted(JOB_MIXES), default="steady",
+        help="job mix the synthetic trace samples applications from",
+    )
+    simulate.add_argument("--seed", type=int, default=2022, help="trace generator seed")
+    simulate.add_argument("--nodes", type=int, default=2, help="number of compute nodes")
+    simulate.add_argument(
+        "--policy", choices=("problem1", "problem2"), default="problem2"
+    )
+    simulate.add_argument(
+        "--power-cap", type=float, default=None,
+        help="power cap for Problem 1 (default: spec grid's 92%% point)",
+    )
+    simulate.add_argument("--alpha", type=float, default=0.2, help="fairness threshold")
+    simulate.add_argument(
+        "--window", type=int, default=4, help="co-scheduler look-ahead window"
+    )
+    simulate.add_argument(
+        "--group-size", type=int, default=2,
+        help="maximum jobs co-located per GPU (>2 enables N-way groups)",
+    )
+    simulate.add_argument(
+        "--repartition-latency", type=float, default=0.0, metavar="S",
+        help="latency of changing a node's MIG layout, in seconds",
+    )
+    simulate.add_argument(
+        "--power-budget", type=float, default=None, metavar="W",
+        help="cluster-wide GPU power budget re-distributed on load changes",
+    )
+    simulate.add_argument(
+        "--spec",
+        choices=sorted(GPU_SPECS),
+        default="a100",
+        help="hardware specification to simulate and optimize for",
+    )
+    simulate.add_argument(
+        "--model",
+        default=None,
+        metavar="PATH",
+        help="model cache path: load trained coefficients from PATH if it "
+        "exists, otherwise train once and save them there",
+    )
+    simulate.add_argument(
+        "--save-trace", default=None, metavar="PATH",
+        help="also write the (synthetic) trace to PATH (.csv or .json)",
     )
 
     states = subparsers.add_parser(
@@ -160,11 +243,18 @@ def _cmd_scalability(args: argparse.Namespace, out: Callable[[str], None]) -> in
     return 0
 
 
-def _cmd_decide(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+def _build_workflow(spec_name: str, group_size: int, model_path: str | None):
+    """A trained workflow for ``spec_name``, sized for ``group_size`` groups.
+
+    The paper's Table 5 grid only covers A100 pairs; N-way groups and
+    non-A100 specs train on the spec-derived grid.  When ``model_path`` is
+    given the trained coefficients are loaded from / saved to that cache,
+    skipping the offline sweeps on every later invocation.
+    """
     from repro.core.workflow import PaperWorkflow, TrainingPlan, power_caps_for_spec
 
-    spec = spec_by_name(args.spec)
-    needs_general_grid = args.spec != "a100" or len(args.apps) != 2
+    spec = spec_by_name(spec_name)
+    needs_general_grid = spec_name != "a100" or group_size != 2
     if needs_general_grid:
         # N-way groups and non-A100 specs need coefficients for the whole
         # instance-size grid, not just the S1-S4 keys of Table 5.
@@ -177,7 +267,12 @@ def _cmd_decide(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     else:
         caps = tuple(DEFAULT_POWER_CAPS)
         workflow = PaperWorkflow()
-    workflow.train()
+    workflow.train_or_load(model_path)
+    return workflow, caps
+
+
+def _cmd_decide(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    workflow, caps = _build_workflow(args.spec, len(args.apps), args.model)
     power_cap = args.power_cap if args.power_cap is not None else caps[-2]
     if args.policy == "problem1":
         decision = workflow.decide_problem1(args.apps, power_cap, args.alpha)
@@ -197,6 +292,58 @@ def _cmd_decide(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         for e in decision.evaluations
     ]
     out(ascii_table(["state", "P[W]", "throughput", "fairness", "objective", "feasible"], rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    from repro.cluster.events import ClusterSimulator, SimulationConfig
+    from repro.cluster.scheduler import SchedulerConfig
+    from repro.traces import bursty_trace, load_trace, poisson_trace, save_trace
+
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+    elif args.burst_size is not None:
+        trace = bursty_trace(
+            burst_rate_per_s=args.arrival_rate / args.burst_size,
+            mean_burst_size=args.burst_size,
+            duration_s=args.duration,
+            n_jobs=args.jobs,
+            seed=args.seed,
+            mix=mix_by_name(args.mix),
+        )
+    else:
+        trace = poisson_trace(
+            arrival_rate_per_s=args.arrival_rate,
+            duration_s=args.duration,
+            n_jobs=args.jobs,
+            seed=args.seed,
+            mix=mix_by_name(args.mix),
+        )
+    if args.save_trace is not None:
+        save_trace(trace, args.save_trace)
+    out(trace.summary())
+
+    workflow, caps = _build_workflow(args.spec, args.group_size, args.model)
+    power_cap = args.power_cap if args.power_cap is not None else caps[-2]
+    scheduler_config = SchedulerConfig(
+        window_size=args.window,
+        group_size=args.group_size,
+        policy_name=args.policy,
+        power_cap_w=power_cap,
+        alpha=args.alpha,
+    )
+    simulator = ClusterSimulator.from_workflow(
+        workflow,
+        n_nodes=args.nodes,
+        scheduler_config=scheduler_config,
+        config=SimulationConfig(
+            repartition_latency_s=args.repartition_latency,
+            power_budget_w=args.power_budget,
+        ),
+    )
+    report = simulator.run(trace, suite=workflow.suite)
+    out("")
+    out(report.summary())
     return 0
 
 
@@ -272,6 +419,7 @@ _COMMANDS = {
     "classify": _cmd_classify,
     "scalability": _cmd_scalability,
     "decide": _cmd_decide,
+    "simulate": _cmd_simulate,
     "states": _cmd_states,
     "accuracy": _cmd_accuracy,
     "figure": _cmd_figure,

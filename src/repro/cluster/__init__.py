@@ -16,8 +16,16 @@ it so the allocator can be exercised end to end:
   window of the queue, profile-run handling, dispatch.
 * :mod:`repro.cluster.manager` — the job manager tying everything together,
   plus an exclusive-execution baseline for comparison.
+* :mod:`repro.cluster.events` — the discrete-event simulator replaying job
+  traces with online arrivals, MIG repartitioning latency, and power-budget
+  reallocation (the batch manager is its all-at-t=0 special case).
 """
 
+from repro.cluster.events import (
+    ClusterSimulator,
+    SimulationConfig,
+    SimulationReport,
+)
 from repro.cluster.job import Job, JobState
 from repro.cluster.manager import JobManager, ScheduleReport
 from repro.cluster.node import ComputeNode
@@ -31,8 +39,11 @@ __all__ = [
     "JobQueue",
     "ComputeNode",
     "ClusterPowerManager",
+    "ClusterSimulator",
     "CoScheduler",
     "SchedulerConfig",
+    "SimulationConfig",
+    "SimulationReport",
     "JobManager",
     "ScheduleReport",
 ]

@@ -1,0 +1,35 @@
+"""Discrete-event simulation of the cluster: heap, clock, events, simulator.
+
+* :mod:`repro.cluster.events.events` — the event heap, simulation clock,
+  and the four event types (arrival, completion, repartition, rebalance).
+* :mod:`repro.cluster.events.simulator` — :class:`ClusterSimulator`, the
+  event loop driving the co-scheduler, nodes, and power manager.
+* :mod:`repro.cluster.events.report` — :class:`SimulationReport` online
+  metrics (tail latencies, utilization, energy-to-solution).
+"""
+
+from repro.cluster.events.events import (
+    ArrivalEvent,
+    CompletionEvent,
+    Event,
+    EventHeap,
+    PowerRebalanceEvent,
+    RepartitionEvent,
+    SimulationClock,
+)
+from repro.cluster.events.report import LatencyStats, SimulationReport
+from repro.cluster.events.simulator import ClusterSimulator, SimulationConfig
+
+__all__ = [
+    "ArrivalEvent",
+    "CompletionEvent",
+    "Event",
+    "EventHeap",
+    "PowerRebalanceEvent",
+    "RepartitionEvent",
+    "SimulationClock",
+    "LatencyStats",
+    "SimulationReport",
+    "ClusterSimulator",
+    "SimulationConfig",
+]

@@ -1,0 +1,178 @@
+"""Event primitives of the discrete-event cluster simulator.
+
+The simulator's future is a binary heap of typed events ordered by
+``(time, priority, sequence)``.  The priority breaks ties at identical
+timestamps deterministically — completions free nodes before new arrivals
+are enqueued, and both precede the power rebalance that reacts to them —
+and the monotonically increasing sequence number makes the order of equal
+``(time, priority)`` events stable (insertion order), which is what keeps
+the all-at-t=0 replay bit-identical to the batch job manager.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import ClassVar
+
+from repro.cluster.job import Job
+from repro.errors import SimulationError
+from repro.traces.trace import TraceEntry
+from repro.workloads.kernel import KernelCharacteristics
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class of everything that can be scheduled on the event heap."""
+
+    #: Tie-break rank at identical timestamps (lower fires first).
+    priority: ClassVar[int] = 50
+
+    time: float
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time) or self.time < 0:
+            raise SimulationError(f"event time must be finite and >= 0, got {self.time}")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return f"t={self.time:.2f}s {type(self).__name__}"
+
+
+@dataclass(frozen=True)
+class CompletionEvent(Event):
+    """A node finished its dispatched job group and becomes free."""
+
+    priority: ClassVar[int] = 10
+
+    node_id: int
+    jobs: tuple[Job, ...]
+
+    def describe(self) -> str:
+        names = ", ".join(job.name for job in self.jobs)
+        return f"t={self.time:.2f}s complete node{self.node_id} [{names}]"
+
+
+@dataclass(frozen=True)
+class RepartitionEvent(Event):
+    """A node finished reconfiguring its MIG layout and may serve jobs."""
+
+    priority: ClassVar[int] = 20
+
+    node_id: int
+    previous_layout: str
+    next_layout: str
+
+    def describe(self) -> str:
+        return (
+            f"t={self.time:.2f}s repartition node{self.node_id} "
+            f"{self.previous_layout} -> {self.next_layout}"
+        )
+
+
+@dataclass(frozen=True)
+class ArrivalEvent(Event):
+    """One trace entry arrives and is submitted to the job queue."""
+
+    priority: ClassVar[int] = 30
+
+    entry: TraceEntry
+    kernel: KernelCharacteristics
+
+    def describe(self) -> str:
+        return f"t={self.time:.2f}s arrive {self.entry.app}"
+
+
+@dataclass(frozen=True)
+class PowerRebalanceEvent(Event):
+    """The cluster power budget is re-distributed across the nodes."""
+
+    priority: ClassVar[int] = 40
+
+    reason: str = "load change"
+
+    def describe(self) -> str:
+        return f"t={self.time:.2f}s power rebalance ({self.reason})"
+
+
+class SimulationClock:
+    """Monotonic simulation time."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, time: float) -> float:
+        """Move the clock forward to ``time`` (never backwards)."""
+        if time < self._now:
+            raise SimulationError(
+                f"the simulation clock cannot move backwards "
+                f"({self._now:.6f}s -> {time:.6f}s)"
+            )
+        self._now = float(time)
+        return self._now
+
+
+@dataclass(order=True)
+class _HeapItem:
+    time: float
+    priority: int
+    sequence: int
+    event: Event = field(compare=False)
+
+
+class EventHeap:
+    """A stable min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[_HeapItem] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        """Whether no future events remain."""
+        return not self._heap
+
+    def push(self, event: Event) -> None:
+        """Schedule ``event``."""
+        heapq.heappush(
+            self._heap,
+            _HeapItem(event.time, type(event).priority, self._sequence, event),
+        )
+        self._sequence += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("the event heap is empty")
+        return heapq.heappop(self._heap).event
+
+    def peek_time(self) -> float:
+        """Timestamp of the earliest event (heap must be non-empty)."""
+        if not self._heap:
+            raise SimulationError("the event heap is empty")
+        return self._heap[0].time
+
+    def pop_batch(self) -> tuple[Event, ...]:
+        """Remove and return every event sharing the earliest timestamp.
+
+        Processing simultaneous events as one batch before any dispatch
+        decision is what lets a completion and an arrival at the same
+        instant see each other — exactly like the batch scheduler's
+        single-timestep view of the queue.
+        """
+        if not self._heap:
+            raise SimulationError("the event heap is empty")
+        now = self._heap[0].time
+        batch = []
+        while self._heap and self._heap[0].time == now:
+            batch.append(heapq.heappop(self._heap).event)
+        return tuple(batch)

@@ -84,6 +84,22 @@ class JobManager:
         return min(node.busy_until for node in self.nodes)
 
     # ------------------------------------------------------------------
+    def drain(
+        self,
+        kernels: Iterable[KernelCharacteristics],
+        exclusive: bool = False,
+    ) -> ScheduleReport:
+        """Drain a batch of jobs that are all present at ``t=0``.
+
+        This is the paper's evaluation mode and the degenerate case of the
+        event-driven :class:`~repro.cluster.events.ClusterSimulator`: an
+        all-at-t=0 trace replayed through the event loop reproduces this
+        schedule exactly (parity-tested).
+        """
+        if exclusive:
+            return self.run_exclusive(kernels)
+        return self.run_coscheduled(kernels)
+
     def run_coscheduled(self, kernels: Iterable[KernelCharacteristics]) -> ScheduleReport:
         """Drain a queue of jobs using co-scheduling decisions."""
         queue = JobQueue()

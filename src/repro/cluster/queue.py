@@ -34,17 +34,35 @@ class JobQueue:
         """Whether no pending jobs remain."""
         return not self._jobs
 
+    @property
+    def clock(self) -> float:
+        """The queue's current notion of time (latest accepted timestamp)."""
+        return self._clock
+
     # ------------------------------------------------------------------
     def submit(self, kernel: KernelCharacteristics, submit_time: float | None = None) -> Job:
-        """Submit one job for ``kernel`` and return it."""
+        """Submit one job for ``kernel`` and return it.
+
+        An explicit ``submit_time`` must not lie behind the queue clock:
+        silently accepting out-of-order arrivals would let a replayed trace
+        corrupt every wait-time statistic downstream.  Accepted submissions
+        advance the clock to their timestamp.
+        """
+        when = self._clock if submit_time is None else float(submit_time)
+        if when < self._clock:
+            raise SchedulingError(
+                f"job submitted at t={when:.2f} behind the queue clock "
+                f"t={self._clock:.2f}; arrivals must be time-ordered"
+            )
         job = Job(
             job_id=self._next_id,
             kernel=kernel,
-            submit_time=self._clock if submit_time is None else submit_time,
+            submit_time=when,
         )
         job.mark(f"submitted at t={job.submit_time:.2f}")
         self._jobs.append(job)
         self._next_id += 1
+        self._clock = when
         return job
 
     def submit_all(self, kernels: Iterable[KernelCharacteristics]) -> list[Job]:

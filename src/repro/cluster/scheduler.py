@@ -21,6 +21,7 @@ from repro.core.decision import AllocationDecision
 from repro.core.policies import POLICY_NAMES, Policy, make_policy
 from repro.core.workflow import OnlineAllocator
 from repro.errors import ConfigurationError, InfeasibleProblemError, SchedulingError
+from repro.sim.results import CoRunResult
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,7 @@ class CoScheduler:
     ) -> None:
         self._allocator = allocator
         self._config = config if config is not None else SchedulerConfig()
+        self._last_result: CoRunResult | None = None
 
     def _validate_policy_against_model(self) -> None:
         """Fail loudly when the configured policy caps are off the model's grid.
@@ -124,6 +126,16 @@ class CoScheduler:
     def config(self) -> SchedulerConfig:
         """The scheduler configuration."""
         return self._config
+
+    @property
+    def last_dispatch_result(self) -> CoRunResult | None:
+        """The :class:`CoRunResult` of the most recent co-located dispatch.
+
+        ``None`` after exclusive/profile dispatches (those run through the
+        reference-time path, which produces no power/interference record).
+        The event-driven simulator reads this for energy accounting.
+        """
+        return self._last_result
 
     # ------------------------------------------------------------------
     def _policy(self) -> Policy:
@@ -259,6 +271,7 @@ class CoScheduler:
             queue.remove(job)
             job.start_time = time
 
+        self._last_result = None
         if plan.decision is None:
             job = plan.jobs[0]
             if not self._is_profiled(job):
@@ -276,6 +289,7 @@ class CoScheduler:
             decision = plan.decision
             kernels = [job.kernel for job in plan.jobs]
             result = node.execute_group(kernels, decision.state, decision.power_cap_w)
+            self._last_result = result
             finish = time
             for job, run in zip(plan.jobs, result.per_app):
                 job.transition(JobState.RUNNING)

@@ -17,6 +17,8 @@ This package implements the methodology of Section 4:
   climbing (the paper's suggested scaling path).
 * :mod:`repro.core.optimizer` — the Resource & Power Allocator.
 * :mod:`repro.core.workflow` — the offline/online workflow of Figure 7.
+* :mod:`repro.core.modelstore` — persistence of trained model coefficients
+  (the CLI's ``--model`` cache).
 """
 
 from repro.core.decision import AllocationDecision, CandidateEvaluation
@@ -36,6 +38,7 @@ from repro.core.metrics import (
     weighted_speedup_batch,
 )
 from repro.core.model import HardwareStateKey, LinearPerfModel
+from repro.core.modelstore import ModelFingerprint, load_model, save_model
 from repro.core.optimizer import DecisionCache, ResourcePowerAllocator
 from repro.core.policies import Policy, Problem1Policy, Problem2Policy
 from repro.core.search import ExhaustiveSearch, HillClimbingSearch, SearchCandidate
@@ -70,6 +73,9 @@ __all__ = [
     "geometric_mean",
     "HardwareStateKey",
     "LinearPerfModel",
+    "ModelFingerprint",
+    "load_model",
+    "save_model",
     "ResourcePowerAllocator",
     "DecisionCache",
     "Policy",

@@ -1,0 +1,155 @@
+"""Persistence of trained :class:`LinearPerfModel` coefficients.
+
+Offline calibration is by far the most expensive step of the workflow
+(tens of seconds for spec-derived N-way grids), and the CLI used to pay it
+on every ``decide`` invocation.  The model store wraps the model's existing
+``to_dict``/``from_dict`` round-trip in a small JSON document that also
+records *what* the model was trained for — the hardware spec and the power
+cap grid — so a stale cache is rejected instead of silently producing
+decisions off the wrong grid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.features import DEFAULT_BASIS, BasisFunctions
+from repro.core.model import LinearPerfModel
+from repro.errors import ModelError
+from repro.gpu.spec import GPUSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (workflow imports us)
+    from repro.core.workflow import TrainingPlan
+
+#: Format tag of the model-store document.
+STORE_FORMAT = "repro-model-store"
+#: Version written by :func:`save_model`.
+STORE_VERSION = 1
+
+
+def plan_digest(plan: "TrainingPlan") -> str:
+    """A stable digest of a training plan's coefficient coverage.
+
+    Two plans with the same digest fit coefficients for exactly the same
+    hardware-state keys.  This is what distinguishes the paper's pair-only
+    Table 5 grid from a spec-derived N-way grid at the *same* spec and cap
+    grid — a distinction the cap list alone cannot make.
+    """
+    parts = [
+        ",".join(str(g) for g in plan.gpc_counts),
+        ",".join(option.value for option in plan.options),
+        ",".join(f"{float(p):.3f}" for p in plan.power_caps),
+        ";".join(str(state.key()) for state in plan.states),
+    ]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ModelFingerprint:
+    """What a stored model was trained for.
+
+    Two fingerprints are compatible when the spec name matches, the stored
+    cap grid covers every cap the caller wants to use, and the training
+    grids coincide (see :func:`plan_digest`) — a cache trained on the
+    pair-only Table 5 grid must not silently serve an N-way request it has
+    no coefficients for.
+    """
+
+    spec_name: str
+    power_caps: tuple[float, ...]
+    grid_digest: str = ""
+
+    @classmethod
+    def for_workflow(
+        cls,
+        spec: GPUSpec,
+        power_caps: Sequence[float],
+        plan: "TrainingPlan | None" = None,
+    ) -> "ModelFingerprint":
+        """The fingerprint of a workflow on ``spec`` with ``power_caps``."""
+        return cls(
+            spec_name=spec.name,
+            power_caps=tuple(sorted(float(p) for p in power_caps)),
+            grid_digest=plan_digest(plan) if plan is not None else "",
+        )
+
+    def check_compatible(self, other: "ModelFingerprint", path: Path) -> None:
+        """Raise :class:`ModelError` when ``other`` cannot serve this request."""
+        if self.spec_name != other.spec_name:
+            raise ModelError(
+                f"model cache {path} was trained for {other.spec_name!r} but "
+                f"{self.spec_name!r} was requested; delete the cache or pass a "
+                f"different --model path"
+            )
+        missing = [p for p in self.power_caps if p not in other.power_caps]
+        if missing:
+            raise ModelError(
+                f"model cache {path} lacks coefficients for power cap(s) "
+                f"{missing} W (stored grid: {list(other.power_caps)} W)"
+            )
+        if self.grid_digest and other.grid_digest and self.grid_digest != other.grid_digest:
+            raise ModelError(
+                f"model cache {path} was trained on a different partition-state "
+                f"grid (e.g. pair-only Table 5 vs spec-derived N-way); delete "
+                f"the cache or pass a different --model path"
+            )
+
+
+def save_model(
+    model: LinearPerfModel,
+    path: str | Path,
+    fingerprint: ModelFingerprint,
+) -> Path:
+    """Write ``model`` (plus its fingerprint) to ``path``; returns the path."""
+    path = Path(path)
+    document = {
+        "format": STORE_FORMAT,
+        "version": STORE_VERSION,
+        "spec": fingerprint.spec_name,
+        "power_caps": list(fingerprint.power_caps),
+        "grid_digest": fingerprint.grid_digest,
+        "model": model.to_dict(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document) + "\n")
+    return path
+
+
+def load_model(
+    path: str | Path,
+    basis: BasisFunctions = DEFAULT_BASIS,
+    expected: ModelFingerprint | None = None,
+) -> LinearPerfModel:
+    """Read a model from ``path``, optionally validating its fingerprint.
+
+    Raises
+    ------
+    repro.errors.ModelError
+        If the file is not a model-store document, has an unsupported
+        version, or was trained for different hardware than ``expected``.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ModelError(f"model cache {path} does not exist")
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ModelError(f"model cache {path} is not valid JSON: {exc}") from None
+    if not isinstance(document, dict) or document.get("format") != STORE_FORMAT:
+        raise ModelError(f"{path} is not a {STORE_FORMAT!r} document")
+    if document.get("version") != STORE_VERSION:
+        raise ModelError(
+            f"{path}: unsupported model-store version {document.get('version')!r}"
+        )
+    stored = ModelFingerprint(
+        spec_name=str(document.get("spec", "")),
+        power_caps=tuple(float(p) for p in document.get("power_caps", [])),
+        grid_digest=str(document.get("grid_digest", "")),
+    )
+    if expected is not None:
+        expected.check_compatible(stored, path)
+    return LinearPerfModel.from_dict(document["model"], basis=basis)

@@ -411,7 +411,17 @@ class PaperWorkflow:
         training_pairs: Sequence[CoRunPair] | None = None,
     ) -> LinearPerfModel:
         """Run the offline stage and set up the online allocator."""
-        self._model = self._offline.run(training_kernels, training_pairs)
+        return self.adopt_model(self._offline.run(training_kernels, training_pairs))
+
+    def adopt_model(self, model: LinearPerfModel) -> LinearPerfModel:
+        """Install a pre-trained model, skipping the offline training sweeps.
+
+        Profile collection still runs (it is one solo run per benchmark,
+        cheap next to the calibration grid); this is the entry point the
+        model store uses to make CLI invocations start from a cache instead
+        of a 30-60 s retrain.
+        """
+        self._model = model
         collector = ProfileCollector(self._simulator)
         database = ProfileDatabase()
         collector.collect_into(self._suite.all(), database)
@@ -425,6 +435,31 @@ class PaperWorkflow:
             spec=self._simulator.spec,
         )
         return self._model
+
+    def train_or_load(self, model_path: str | None) -> LinearPerfModel:
+        """Load the model from ``model_path`` if it exists, else train and save.
+
+        ``None`` falls back to a plain :meth:`train`.  The cache is
+        fingerprinted with the spec name and cap grid, so a file trained for
+        different hardware raises instead of mis-deciding.
+        """
+        if model_path is None:
+            return self.train()
+        from pathlib import Path
+
+        from repro.core.modelstore import ModelFingerprint, load_model, save_model
+
+        fingerprint = ModelFingerprint.for_workflow(
+            self._simulator.spec, self._power_caps, plan=self._offline.plan
+        )
+        path = Path(model_path)
+        if path.exists():
+            return self.adopt_model(
+                load_model(path, basis=self._offline.trainer.basis, expected=fingerprint)
+            )
+        model = self.train()
+        save_model(model, path, fingerprint)
+        return model
 
     # ------------------------------------------------------------------
     def decide_problem1(

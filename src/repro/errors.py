@@ -78,5 +78,9 @@ class SimulationError(ReproError):
     """The execution simulator was driven into an invalid state."""
 
 
+class TraceError(ReproError):
+    """A job trace is malformed, unsorted, or cannot be (de)serialized."""
+
+
 class SchedulingError(ReproError):
     """The cluster-level job manager could not schedule a job."""

@@ -1,0 +1,21 @@
+"""Job traces: synthetic arrival generators, persistence, and replay.
+
+* :mod:`repro.traces.trace` — :class:`Trace` / :class:`TraceEntry`, the
+  timestamped arrival records the event-driven cluster simulator replays.
+* :mod:`repro.traces.generators` — seeded Poisson and bursty synthetic
+  arrival processes over weighted job mixes.
+* :mod:`repro.traces.loader` — CSV/JSON load and save.
+"""
+
+from repro.traces.generators import bursty_trace, poisson_trace
+from repro.traces.loader import load_trace, save_trace
+from repro.traces.trace import Trace, TraceEntry
+
+__all__ = [
+    "Trace",
+    "TraceEntry",
+    "poisson_trace",
+    "bursty_trace",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,120 @@
+"""Trace persistence: CSV and JSON load/save, selected by file suffix.
+
+The CSV dialect is the two-column scheduler-log shape
+(``arrival_time_s,app`` with a header row); the JSON document carries a
+format tag and version so future fields (job sizes, priorities) can be
+added without breaking old files.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.traces.trace import Trace, TraceEntry
+
+#: Format tag of the JSON trace document.
+JSON_FORMAT = "repro-job-trace"
+#: Version written by :func:`save_trace` (readers accept this version only).
+JSON_VERSION = 1
+
+_CSV_HEADER = ("arrival_time_s", "app")
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` (``.csv`` or ``.json``); returns the path."""
+    path = Path(path)
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(_CSV_HEADER)
+            for entry in trace:
+                writer.writerow((f"{entry.arrival_time_s!r}", entry.app))
+    elif suffix == ".json":
+        document = {
+            "format": JSON_FORMAT,
+            "version": JSON_VERSION,
+            "label": trace.label,
+            "jobs": [
+                {"arrival_time_s": entry.arrival_time_s, "app": entry.app}
+                for entry in trace
+            ],
+        }
+        path.write_text(json.dumps(document, indent=2) + "\n")
+    else:
+        raise TraceError(
+            f"unsupported trace suffix {path.suffix!r}; use .csv or .json"
+        )
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace from a ``.csv`` or ``.json`` file.
+
+    Raises
+    ------
+    repro.errors.TraceError
+        If the file is missing, has an unsupported suffix, or is malformed
+        (the error names the offending row/field).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file {path} does not exist")
+    suffix = path.suffix.lower()
+    if suffix == ".csv":
+        return _load_csv(path)
+    if suffix == ".json":
+        return _load_json(path)
+    raise TraceError(f"unsupported trace suffix {path.suffix!r}; use .csv or .json")
+
+
+def _load_csv(path: Path) -> Trace:
+    entries = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(h.strip() for h in header) != _CSV_HEADER:
+            raise TraceError(
+                f"{path}: expected header {','.join(_CSV_HEADER)!r}, got {header}"
+            )
+        for lineno, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise TraceError(f"{path}:{lineno}: expected 2 columns, got {len(row)}")
+            try:
+                time = float(row[0])
+            except ValueError:
+                raise TraceError(
+                    f"{path}:{lineno}: arrival time {row[0]!r} is not a number"
+                ) from None
+            entries.append(TraceEntry(arrival_time_s=time, app=row[1].strip()))
+    return Trace(entries=tuple(entries), label=path.stem)
+
+
+def _load_json(path: Path) -> Trace:
+    try:
+        document = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(document, dict) or document.get("format") != JSON_FORMAT:
+        raise TraceError(f"{path} is not a {JSON_FORMAT!r} document")
+    if document.get("version") != JSON_VERSION:
+        raise TraceError(
+            f"{path}: unsupported trace version {document.get('version')!r} "
+            f"(this reader handles version {JSON_VERSION})"
+        )
+    entries = []
+    for index, job in enumerate(document.get("jobs", [])):
+        try:
+            entries.append(
+                TraceEntry(
+                    arrival_time_s=float(job["arrival_time_s"]), app=str(job["app"])
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"{path}: jobs[{index}] is malformed: {exc}") from None
+    return Trace(entries=tuple(entries), label=str(document.get("label", path.stem)))

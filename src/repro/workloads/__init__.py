@@ -41,6 +41,14 @@ from repro.workloads.groups import (
     corun_group_names,
     groups_of_size,
 )
+from repro.workloads.mixes import (
+    JOB_MIXES,
+    JobMix,
+    MEMORY_HEAVY_MIX,
+    STEADY_MIX,
+    TENSOR_HEAVY_MIX,
+    mix_by_name,
+)
 from repro.workloads.synthetic import SyntheticWorkloadGenerator
 
 __all__ = [
@@ -71,4 +79,10 @@ __all__ = [
     "corun_group_names",
     "groups_of_size",
     "SyntheticWorkloadGenerator",
+    "JobMix",
+    "JOB_MIXES",
+    "STEADY_MIX",
+    "TENSOR_HEAVY_MIX",
+    "MEMORY_HEAVY_MIX",
+    "mix_by_name",
 ]

@@ -1,0 +1,120 @@
+"""Trace-shaped job mixes: weighted application populations for traces.
+
+A :class:`JobMix` describes the application population of an arriving job
+stream as per-benchmark sampling weights.  The synthetic trace generators in
+:mod:`repro.traces.generators` draw application names from a mix, so a
+cluster simulation can be skewed toward Tensor-heavy, memory-heavy, or
+balanced traffic without hand-writing traces.
+
+The built-in mixes lean on the paper's Table 7 classification: each class
+mix keeps the whole suite in play (every class keeps a small background
+weight) but concentrates most of the arrival mass on one class, which is
+what production job logs skewed toward one workload family look like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import WorkloadError
+from repro.workloads.classification import EXPECTED_CLASSIFICATION
+from repro.workloads.kernel import WorkloadClass
+
+
+@dataclass(frozen=True)
+class JobMix:
+    """A named, weighted population of benchmark applications.
+
+    Attributes
+    ----------
+    name:
+        Short identifier of the mix (CLI ``--mix`` value).
+    weights:
+        Per-application sampling weight (relative, not normalized).  Every
+        weight must be positive.
+    """
+
+    name: str
+    weights: Mapping[str, float]
+
+    def __post_init__(self) -> None:
+        if not self.weights:
+            raise WorkloadError(f"job mix {self.name!r} has no applications")
+        for app, weight in self.weights.items():
+            if weight <= 0:
+                raise WorkloadError(
+                    f"job mix {self.name!r}: weight of {app!r} must be positive, got {weight}"
+                )
+
+    @property
+    def app_names(self) -> tuple[str, ...]:
+        """Application names of the mix, in a stable order."""
+        return tuple(sorted(self.weights))
+
+    def normalized(self) -> Mapping[str, float]:
+        """Weights rescaled to sum to 1 (sampling probabilities)."""
+        total = sum(self.weights.values())
+        return {app: weight / total for app, weight in sorted(self.weights.items())}
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        top = sorted(self.weights.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+        head = ", ".join(f"{app}={weight:g}" for app, weight in top)
+        return f"{self.name}: {len(self.weights)} apps ({head}, ...)"
+
+
+def _class_skewed(name: str, favored: WorkloadClass, ratio: float = 6.0) -> JobMix:
+    """A mix that concentrates ``ratio``× the base weight on one class."""
+    weights = {
+        app: ratio if cls is favored else 1.0
+        for app, cls in EXPECTED_CLASSIFICATION.items()
+    }
+    return JobMix(name=name, weights=weights)
+
+
+#: Uniform traffic across the whole Table 7 suite.
+STEADY_MIX = JobMix(
+    name="steady", weights={app: 1.0 for app in EXPECTED_CLASSIFICATION}
+)
+
+#: Traffic dominated by Tensor-Core-intensive jobs (training-farm shape).
+TENSOR_HEAVY_MIX = _class_skewed("tensor-heavy", WorkloadClass.TI)
+
+#: Traffic dominated by (non-Tensor) compute-intensive jobs.
+COMPUTE_HEAVY_MIX = _class_skewed("compute-heavy", WorkloadClass.CI)
+
+#: Traffic dominated by memory-intensive jobs (analytics shape).
+MEMORY_HEAVY_MIX = _class_skewed("memory-heavy", WorkloadClass.MI)
+
+#: Traffic dominated by un-scalable jobs (small-kernel inference shape).
+UNSCALABLE_HEAVY_MIX = _class_skewed("unscalable-heavy", WorkloadClass.US)
+
+#: Registry of the built-in mixes, by name.
+JOB_MIXES: Mapping[str, JobMix] = {
+    mix.name: mix
+    for mix in (
+        STEADY_MIX,
+        TENSOR_HEAVY_MIX,
+        COMPUTE_HEAVY_MIX,
+        MEMORY_HEAVY_MIX,
+        UNSCALABLE_HEAVY_MIX,
+    )
+}
+
+
+def mix_by_name(name: str) -> JobMix:
+    """Look up a built-in :class:`JobMix` (case-insensitive).
+
+    Raises
+    ------
+    repro.errors.WorkloadError
+        If no mix with that name exists, listing the valid names.
+    """
+    key = name.strip().lower()
+    try:
+        return JOB_MIXES[key]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown job mix {name!r}; valid names are {sorted(JOB_MIXES)}"
+        ) from None

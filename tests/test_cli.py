@@ -62,6 +62,101 @@ class TestDecide:
         assert "error" in text.lower()
 
 
+class TestSimulate:
+    def test_synthetic_poisson_simulation(self):
+        code, text = run_cli(
+            ["simulate", "--arrival-rate", "2.0", "--duration", "20", "--nodes", "2"]
+        )
+        assert code == 0
+        assert "jobs over" in text  # trace summary
+        assert "p99" in text and "utilization" in text and "energy" in text
+
+    def test_jobs_cap_limits_the_trace(self):
+        code, text = run_cli(
+            ["simulate", "--arrival-rate", "4.0", "--duration", "100",
+             "--jobs", "10", "--nodes", "2"]
+        )
+        assert code == 0
+        assert "10 jobs on 2 node(s)" in text
+
+    def test_jobs_cap_applies_to_bursty_traces_too(self):
+        code, text = run_cli(
+            ["simulate", "--arrival-rate", "4.0", "--duration", "100",
+             "--burst-size", "3", "--jobs", "10", "--nodes", "2"]
+        )
+        assert code == 0
+        assert "10 jobs on 2 node(s)" in text
+
+    def test_pair_model_cache_rejected_for_nway_decide(self, tmp_path):
+        model_path = tmp_path / "model.json"
+        code, _ = run_cli(["decide", "igemm4", "stream", "--model", str(model_path)])
+        assert code == 0
+        code, text = run_cli(
+            ["decide", "igemm4", "stream", "bfs", "--model", str(model_path)]
+        )
+        assert code == 2
+        assert "different partition-state grid" in text
+
+    def test_bursty_generator_and_budget(self):
+        code, text = run_cli(
+            ["simulate", "--arrival-rate", "2.0", "--duration", "15",
+             "--burst-size", "3", "--nodes", "2", "--power-budget", "420",
+             "--repartition-latency", "0.5"]
+        )
+        assert code == 0
+        assert "rebalances=" in text
+        assert "power allocation" in text
+
+    def test_trace_file_roundtrip(self, tmp_path):
+        trace_path = tmp_path / "trace.csv"
+        code, _ = run_cli(
+            ["simulate", "--arrival-rate", "2.0", "--duration", "10",
+             "--nodes", "1", "--save-trace", str(trace_path)]
+        )
+        assert code == 0
+        code, text = run_cli(["simulate", "--trace", str(trace_path), "--nodes", "1"])
+        assert code == 0
+        assert "node(s)" in text
+
+    def test_missing_trace_file_is_an_error(self):
+        code, text = run_cli(["simulate", "--trace", "/nonexistent/trace.csv"])
+        assert code == 2
+        assert "error" in text.lower()
+
+    def test_mix_selects_application_population(self):
+        code, text = run_cli(
+            ["simulate", "--arrival-rate", "3.0", "--duration", "10",
+             "--nodes", "1", "--mix", "tensor-heavy", "--seed", "3"]
+        )
+        assert code == 0
+
+    def test_model_cache_round_trip(self, tmp_path):
+        model_path = tmp_path / "model.json"
+        code, first = run_cli(
+            ["decide", "igemm4", "stream", "--policy", "problem1",
+             "--power-cap", "230", "--model", str(model_path)]
+        )
+        assert code == 0
+        assert model_path.exists()
+        code, second = run_cli(
+            ["decide", "igemm4", "stream", "--policy", "problem1",
+             "--power-cap", "230", "--model", str(model_path)]
+        )
+        assert code == 0
+        # The cached run reproduces the trained decision verbatim.
+        assert first.splitlines()[0] == second.splitlines()[0]
+
+    def test_simulate_accepts_model_cache(self, tmp_path):
+        model_path = tmp_path / "model.json"
+        args = ["simulate", "--arrival-rate", "2.0", "--duration", "10",
+                "--nodes", "1", "--model", str(model_path)]
+        code, _ = run_cli(args)
+        assert code == 0
+        assert model_path.exists()
+        code, _ = run_cli(args)
+        assert code == 0
+
+
 class TestAccuracyAndFigures:
     def test_accuracy_summary(self):
         code, text = run_cli(["accuracy"])

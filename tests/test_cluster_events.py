@@ -1,0 +1,117 @@
+"""Tests for the discrete-event primitives: heap, clock, and event types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.events.events import (
+    ArrivalEvent,
+    CompletionEvent,
+    EventHeap,
+    PowerRebalanceEvent,
+    RepartitionEvent,
+    SimulationClock,
+)
+from repro.errors import SimulationError
+from repro.traces.trace import TraceEntry
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+def _arrival(time: float, app: str = "stream") -> ArrivalEvent:
+    return ArrivalEvent(
+        time=time,
+        entry=TraceEntry(arrival_time_s=time, app=app),
+        kernel=DEFAULT_SUITE.get(app),
+    )
+
+
+class TestSimulationClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimulationClock()
+        assert clock.now == 0.0
+        clock.advance(3.5)
+        assert clock.now == pytest.approx(3.5)
+
+    def test_advancing_to_the_same_time_is_allowed(self):
+        clock = SimulationClock()
+        clock.advance(2.0)
+        clock.advance(2.0)
+        assert clock.now == pytest.approx(2.0)
+
+    def test_moving_backwards_rejected(self):
+        clock = SimulationClock()
+        clock.advance(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance(4.0)
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerRebalanceEvent(time=-1.0)
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerRebalanceEvent(time=float("nan"))
+
+    def test_describe_mentions_time_and_kind(self):
+        event = RepartitionEvent(
+            time=4.0, node_id=1, previous_layout="(none)", next_layout="S1"
+        )
+        assert "t=4.00s" in event.describe()
+        assert "node1" in event.describe()
+
+
+class TestEventHeap:
+    def test_pops_in_time_order(self):
+        heap = EventHeap()
+        heap.push(_arrival(5.0))
+        heap.push(_arrival(1.0))
+        heap.push(_arrival(3.0))
+        times = [heap.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_priority_breaks_time_ties(self):
+        heap = EventHeap()
+        heap.push(_arrival(2.0))
+        heap.push(PowerRebalanceEvent(time=2.0))
+        heap.push(CompletionEvent(time=2.0, node_id=0, jobs=()))
+        heap.push(
+            RepartitionEvent(
+                time=2.0, node_id=0, previous_layout="(none)", next_layout="S1"
+            )
+        )
+        order = [type(heap.pop()).__name__ for _ in range(4)]
+        assert order == [
+            "CompletionEvent",
+            "RepartitionEvent",
+            "ArrivalEvent",
+            "PowerRebalanceEvent",
+        ]
+
+    def test_equal_time_and_priority_is_fifo(self):
+        heap = EventHeap()
+        apps = ["stream", "dgemm", "hgemm"]
+        for app in apps:
+            heap.push(_arrival(0.0, app))
+        assert [heap.pop().entry.app for _ in range(3)] == apps
+
+    def test_pop_batch_returns_all_simultaneous_events(self):
+        heap = EventHeap()
+        heap.push(_arrival(1.0))
+        heap.push(_arrival(1.0, "dgemm"))
+        heap.push(_arrival(2.0, "hgemm"))
+        batch = heap.pop_batch()
+        assert [event.entry.app for event in batch] == ["stream", "dgemm"]
+        assert len(heap) == 1
+        assert heap.peek_time() == pytest.approx(2.0)
+
+    def test_empty_heap_rejects_pop_and_peek(self):
+        heap = EventHeap()
+        assert heap.empty
+        with pytest.raises(SimulationError):
+            heap.pop()
+        with pytest.raises(SimulationError):
+            heap.peek_time()
+        with pytest.raises(SimulationError):
+            heap.pop_batch()

@@ -91,6 +91,26 @@ class TestJobQueue:
         with pytest.raises(SchedulingError):
             queue.advance_clock(5.0)
 
+    def test_submit_behind_the_clock_rejected(self, queue):
+        queue.advance_clock(10.0)
+        with pytest.raises(SchedulingError, match="behind the queue clock"):
+            queue.submit(DEFAULT_SUITE.get("stream"), submit_time=5.0)
+
+    def test_submit_advances_the_clock(self, queue):
+        queue.submit(DEFAULT_SUITE.get("stream"), submit_time=3.0)
+        assert queue.clock == pytest.approx(3.0)
+        # A later submission without an explicit time inherits the clock ...
+        job = queue.submit(DEFAULT_SUITE.get("dgemm"))
+        assert job.submit_time == pytest.approx(3.0)
+        # ... and out-of-order explicit times are rejected, not reordered.
+        with pytest.raises(SchedulingError):
+            queue.submit(DEFAULT_SUITE.get("hgemm"), submit_time=1.0)
+
+    def test_simultaneous_submissions_allowed(self, queue):
+        first = queue.submit(DEFAULT_SUITE.get("stream"), submit_time=2.0)
+        second = queue.submit(DEFAULT_SUITE.get("dgemm"), submit_time=2.0)
+        assert first.submit_time == second.submit_time == pytest.approx(2.0)
+
     def test_pending_lists_unscheduled_jobs(self, queue):
         queue.submit(DEFAULT_SUITE.get("stream"))
         assert len(queue.pending()) == 1

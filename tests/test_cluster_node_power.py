@@ -115,3 +115,62 @@ class TestClusterPowerManager:
         requests = [PowerRequest(0, desired_w=150, minimum_w=100)]
         allocation = manager.distribute(requests, total_budget_w=400)
         assert manager.headroom(allocation, 400) == pytest.approx(250)
+
+
+class TestOversubscribedBudgets:
+    """The regime the event simulator exercises: demand exceeds the budget."""
+
+    @pytest.fixture()
+    def manager(self):
+        return ClusterPowerManager()
+
+    def test_budget_exactly_at_minimums_grants_minimums_only(self, manager):
+        requests = [
+            PowerRequest(0, desired_w=250, minimum_w=100),
+            PowerRequest(1, desired_w=250, minimum_w=100),
+        ]
+        allocation = manager.distribute(requests, total_budget_w=200)
+        assert allocation == {0: pytest.approx(100), 1: pytest.approx(100)}
+        assert manager.headroom(allocation, 200) == pytest.approx(0.0)
+
+    def test_oversubscribed_budget_is_fully_spent(self, manager):
+        requests = [
+            PowerRequest(node_id, desired_w=250, minimum_w=100)
+            for node_id in range(4)
+        ]
+        allocation = manager.distribute(requests, total_budget_w=700)
+        assert sum(allocation.values()) == pytest.approx(700)
+        # Equal demand: the shortage is shared equally.
+        assert all(watts == pytest.approx(175) for watts in allocation.values())
+
+    def test_unequal_extras_share_shortage_proportionally(self, manager):
+        requests = [
+            PowerRequest(0, desired_w=300, minimum_w=100),  # +200 extra
+            PowerRequest(1, desired_w=150, minimum_w=100),  # +50 extra
+        ]
+        allocation = manager.distribute(requests, total_budget_w=300)
+        # 100 W of extras split 200:50 = 4:1.
+        assert allocation[0] == pytest.approx(100 + 80)
+        assert allocation[1] == pytest.approx(100 + 20)
+
+    def test_no_node_gets_more_than_it_desired(self, manager):
+        requests = [
+            PowerRequest(0, desired_w=120, minimum_w=100),
+            PowerRequest(1, desired_w=290, minimum_w=100),
+        ]
+        allocation = manager.distribute(requests, total_budget_w=400)
+        assert allocation[0] <= 120 + 1e-9
+        assert allocation[1] <= 290 + 1e-9
+
+    def test_single_watt_of_slack_distributes_without_error(self, manager):
+        requests = [
+            PowerRequest(0, desired_w=250, minimum_w=100),
+            PowerRequest(1, desired_w=250, minimum_w=100),
+        ]
+        allocation = manager.distribute(requests, total_budget_w=201)
+        assert sum(allocation.values()) == pytest.approx(201)
+        assert min(allocation.values()) >= 100
+
+    def test_headroom_never_negative_even_when_overallocated(self, manager):
+        # headroom() clamps at zero if an allocation somehow exceeds budget.
+        assert manager.headroom({0: 300.0, 1: 300.0}, 500.0) == 0.0

@@ -1,0 +1,233 @@
+"""Tests for the event-driven cluster simulator.
+
+The key property is parity: an all-at-t=0 trace replayed through the event
+loop must reproduce the batch :class:`JobManager` schedule exactly.  On top
+of that the online behaviours — arrivals over time, MIG repartitioning
+latency, and power-budget reallocation — are exercised separately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.events import ClusterSimulator, SimulationConfig
+from repro.cluster.manager import JobManager
+from repro.cluster.scheduler import SchedulerConfig
+from repro.core.workflow import PaperWorkflow, TrainingPlan
+from repro.errors import ConfigurationError, SimulationError, TraceError
+from repro.gpu.mig import MemoryOption
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.noise import no_noise
+from repro.traces import Trace, poisson_trace
+from repro.workloads.suite import DEFAULT_SUITE
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    wf = PaperWorkflow(
+        simulator=PerformanceSimulator(noise=no_noise()),
+        plan=TrainingPlan(
+            gpc_counts=(3, 4),
+            options=(MemoryOption.SHARED, MemoryOption.PRIVATE),
+            power_caps=(230.0, 250.0),
+        ),
+        power_caps=(230.0, 250.0),
+    )
+    wf.train()
+    return wf
+
+
+@pytest.fixture()
+def scheduler_config():
+    return SchedulerConfig(
+        policy_name="problem1", power_cap_w=230.0, alpha=0.2, window_size=4
+    )
+
+
+JOB_NAMES = [
+    "igemm4", "stream", "srad", "needle", "hgemm", "lud",
+    "dgemm", "kmeans", "fp16gemm", "leukocyte",
+]
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("n_nodes", [1, 2, 3])
+    def test_all_at_zero_trace_matches_drain(self, workflow, scheduler_config, n_nodes):
+        kernels = [DEFAULT_SUITE.get(name) for name in JOB_NAMES]
+        manager = JobManager.from_workflow(
+            workflow, n_nodes=n_nodes, scheduler_config=scheduler_config
+        )
+        batch = manager.drain(kernels)
+
+        simulator = ClusterSimulator.from_workflow(
+            workflow, n_nodes=n_nodes, scheduler_config=scheduler_config
+        )
+        report = simulator.run(Trace.all_at_zero(JOB_NAMES))
+
+        assert report.n_jobs == batch.n_jobs
+        assert report.makespan_s == pytest.approx(batch.makespan_s, rel=1e-12)
+        assert report.mean_turnaround_s == pytest.approx(
+            batch.mean_turnaround_s, rel=1e-12
+        )
+        assert report.co_scheduled_jobs == batch.co_scheduled_jobs
+        assert report.exclusive_jobs == batch.exclusive_jobs
+
+    def test_parity_schedules_identical_job_intervals(self, workflow, scheduler_config):
+        kernels = [DEFAULT_SUITE.get(name) for name in JOB_NAMES]
+        manager = JobManager.from_workflow(
+            workflow, n_nodes=2, scheduler_config=scheduler_config
+        )
+        batch = manager.drain(kernels)
+
+        simulator = ClusterSimulator.from_workflow(
+            workflow, n_nodes=2, scheduler_config=scheduler_config
+        )
+        report = simulator.run(Trace.all_at_zero(JOB_NAMES))
+
+        batch_by_name = {
+            job.name: (job.start_time, job.finish_time) for job in batch.jobs
+        }
+        for job in report.jobs:
+            start, finish = batch_by_name[job.name]
+            assert job.start_time == pytest.approx(start, abs=1e-12)
+            assert job.finish_time == pytest.approx(finish, rel=1e-12)
+
+
+class TestOnlineArrivals:
+    def test_jobs_wait_for_their_arrival_time(self, workflow, scheduler_config):
+        trace = Trace.from_arrivals(
+            [(0.0, "stream"), (10.0, "dgemm"), (20.0, "hgemm")]
+        )
+        simulator = ClusterSimulator.from_workflow(
+            workflow, n_nodes=2, scheduler_config=scheduler_config
+        )
+        report = simulator.run(trace)
+        by_name = {job.name: job for job in report.jobs}
+        assert by_name["dgemm"].start_time >= 10.0
+        assert by_name["hgemm"].start_time >= 20.0
+        assert report.makespan_s >= 20.0
+        # An idle cluster dispatches arrivals immediately: no waiting.
+        assert report.wait.max_s == pytest.approx(0.0, abs=1e-12)
+
+    def test_poisson_trace_completes_every_job(self, workflow, scheduler_config):
+        trace = poisson_trace(1.0, duration_s=30.0, seed=5)
+        simulator = ClusterSimulator.from_workflow(
+            workflow, n_nodes=2, scheduler_config=scheduler_config
+        )
+        report = simulator.run(trace)
+        assert report.n_jobs == trace.n_jobs
+        assert report.sustained_throughput_jobs_per_s > 0
+        assert 0.0 < report.utilization <= 1.0
+        assert report.energy_wh > 0.0
+        assert report.wait.p50_s <= report.wait.p95_s <= report.wait.p99_s
+
+    def test_saturated_cluster_builds_queue(self, workflow, scheduler_config):
+        # One node and a burst of simultaneous arrivals: later jobs must wait.
+        trace = Trace.all_at_zero(JOB_NAMES)
+        simulator = ClusterSimulator.from_workflow(
+            workflow, n_nodes=1, scheduler_config=scheduler_config
+        )
+        report = simulator.run(trace)
+        assert report.peak_queue_length == len(JOB_NAMES)
+        assert report.wait.max_s > 0.0
+
+    def test_profile_runs_counted(self, workflow, scheduler_config):
+        suite = DEFAULT_SUITE.subset(["stream", "dgemm"])
+        fresh = DEFAULT_SUITE.get("stream").with_name("freshapp")
+        suite.register(fresh)
+        trace = Trace.from_arrivals([(0.0, "freshapp"), (0.0, "stream")])
+        simulator = ClusterSimulator.from_workflow(
+            workflow, n_nodes=1, scheduler_config=scheduler_config
+        )
+        report = simulator.run(trace, suite=suite)
+        assert report.profile_runs == 1
+
+    def test_empty_trace_rejected(self, workflow):
+        simulator = ClusterSimulator.from_workflow(workflow)
+        with pytest.raises(SimulationError):
+            simulator.run(Trace(entries=()))
+
+    def test_unknown_app_rejected(self, workflow):
+        simulator = ClusterSimulator.from_workflow(workflow)
+        with pytest.raises(TraceError):
+            simulator.run(Trace.all_at_zero(["nonesuch"]))
+
+    def test_nodes_required(self, workflow):
+        with pytest.raises(ConfigurationError):
+            ClusterSimulator(allocator=workflow.online, nodes=[])
+
+
+class TestRepartitionLatency:
+    def test_layout_changes_incur_latency(self, workflow, scheduler_config):
+        trace = Trace.all_at_zero(JOB_NAMES)
+        free = ClusterSimulator.from_workflow(
+            workflow, n_nodes=2, scheduler_config=scheduler_config
+        ).run(trace)
+        priced = ClusterSimulator.from_workflow(
+            workflow,
+            n_nodes=2,
+            scheduler_config=scheduler_config,
+            config=SimulationConfig(repartition_latency_s=5.0),
+        ).run(trace)
+        assert priced.repartitions > 0
+        assert priced.repartition_time_s == pytest.approx(priced.repartitions * 5.0)
+        assert priced.makespan_s > free.makespan_s
+
+    def test_stable_layout_pays_once_per_node(self, workflow):
+        # group_size=1 makes every dispatch the exclusive layout, so only
+        # the first dispatch of each node reconfigures.
+        config = SchedulerConfig(group_size=1)
+        trace = Trace.all_at_zero(["stream", "dgemm", "hgemm", "lud"])
+        report = ClusterSimulator.from_workflow(
+            workflow,
+            n_nodes=2,
+            scheduler_config=config,
+            config=SimulationConfig(repartition_latency_s=1.0),
+        ).run(trace)
+        assert report.repartitions == 2
+
+
+class TestPowerBudget:
+    def test_budget_rebalances_and_caps_allocation(self, workflow, scheduler_config):
+        trace = Trace.all_at_zero(JOB_NAMES)
+        budget = 460.0
+        report = ClusterSimulator.from_workflow(
+            workflow,
+            n_nodes=2,
+            scheduler_config=scheduler_config,
+            config=SimulationConfig(power_budget_w=budget),
+        ).run(trace)
+        assert report.power_rebalances > 0
+        assert report.final_power_allocation_w
+        assert sum(report.final_power_allocation_w.values()) <= budget + 1e-9
+
+    def test_tight_budget_slows_the_cluster_down(self, workflow, scheduler_config):
+        trace = Trace.all_at_zero(JOB_NAMES)
+        unlimited = ClusterSimulator.from_workflow(
+            workflow, n_nodes=2, scheduler_config=scheduler_config
+        ).run(trace)
+        spec = workflow.simulator.spec
+        tight = ClusterSimulator.from_workflow(
+            workflow,
+            n_nodes=2,
+            scheduler_config=scheduler_config,
+            config=SimulationConfig(power_budget_w=2 * spec.min_power_cap_w),
+        ).run(trace)
+        assert tight.makespan_s > unlimited.makespan_s
+
+    def test_budget_below_cluster_minimum_rejected(self, workflow):
+        spec = workflow.simulator.spec
+        with pytest.raises(ConfigurationError):
+            ClusterSimulator.from_workflow(
+                workflow,
+                n_nodes=4,
+                config=SimulationConfig(
+                    power_budget_w=3 * spec.min_power_cap_w
+                ),
+            )
+
+    def test_invalid_config_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(repartition_latency_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(power_budget_w=0.0)

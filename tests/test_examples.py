@@ -22,6 +22,7 @@ EXAMPLES = [
     "cluster_job_manager",
     "telemetry_and_export",
     "nway_colocation",
+    "trace_simulation",
 ]
 
 
