@@ -74,7 +74,9 @@ def interference_term_ablation(
                 bare = tuple(
                     model.predict_rperf(
                         counters[i],
-                        HardwareStateKey.from_state(state, i, cap),
+                        HardwareStateKey.from_state(
+                            state, i, cap, context.simulator.spec
+                        ),
                         co_counters=(),
                     )
                     for i in range(state.n_apps)

@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.analysis.context import EvaluationContext
 from repro.config import DEFAULT_POWER_CAPS
-from repro.core.model import HardwareStateKey
 from repro.core.optimizer import ResourcePowerAllocator
 from repro.core.policies import Problem1Policy
 from repro.core.training import ModelTrainer, collect_corun_measurements, collect_solo_measurements

@@ -151,7 +151,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--repartition-latency", type=float, default=0.0, metavar="S",
-        help="latency of changing a node's MIG layout, in seconds",
+        help="latency per GPU Instance created/destroyed when a node's MIG "
+        "layout changes, in seconds (re-binding jobs onto an unchanged GI "
+        "multiset is free)",
     )
     simulate.add_argument(
         "--power-budget", type=float, default=None, metavar="W",

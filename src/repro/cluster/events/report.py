@@ -73,8 +73,11 @@ class SimulationReport:
         How jobs were executed; profile runs are also exclusive runs.
     events_processed:
         Total events the loop consumed (heap pops).
-    repartitions, repartition_time_s:
-        MIG layout changes performed and the total latency they added.
+    repartitions, repartition_time_s, mig_instance_changes:
+        MIG layout changes performed, the total latency they added, and the
+        number of GPU Instances created/destroyed across them (the latency
+        scales with this count; re-binding jobs onto an unchanged GI
+        multiset is free).
     power_rebalances:
         How often the cluster power budget was re-distributed.
     final_power_allocation_w:
@@ -99,6 +102,7 @@ class SimulationReport:
     events_processed: int
     repartitions: int
     repartition_time_s: float
+    mig_instance_changes: int
     power_rebalances: int
     final_power_allocation_w: Mapping[int, float]
     peak_queue_length: int
@@ -125,7 +129,8 @@ class SimulationReport:
             f"  co-scheduled {self.co_scheduled_jobs}, exclusive {self.exclusive_jobs} "
             f"(of which {self.profile_runs} profile runs)",
             f"  events={self.events_processed}  repartitions={self.repartitions} "
-            f"(+{self.repartition_time_s:.1f}s)  rebalances={self.power_rebalances}  "
+            f"({self.mig_instance_changes} GI changes, "
+            f"+{self.repartition_time_s:.1f}s)  rebalances={self.power_rebalances}  "
             f"peak queue={self.peak_queue_length}",
         ]
         if self.final_power_allocation_w:

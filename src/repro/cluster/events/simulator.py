@@ -13,6 +13,7 @@ the batch job manager's schedule exactly (parity-tested).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field, replace
 
 from repro.cluster.events.events import (
@@ -35,8 +36,9 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.traces.trace import Trace
 from repro.workloads.suite import BenchmarkSuite
 
-#: Layout sentinel for exclusive (full-GPU, MIG-less) dispatches.
-_EXCLUSIVE_LAYOUT = "exclusive-full"
+#: Layout signature for exclusive (full-GPU, MIG-less) dispatches: no GPU
+#: Instances exist, MIG mode is off.
+_EXCLUSIVE_LAYOUT: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -46,9 +48,15 @@ class SimulationConfig:
     Attributes
     ----------
     repartition_latency_s:
-        Latency of changing a node's MIG layout.  A dispatch whose partition
-        state differs from the layout the node last served starts this many
-        seconds late (0 restores the batch manager's free reconfiguration).
+        Latency per GPU Instance created or destroyed when a node's MIG
+        layout changes (plus one unit when MIG mode itself is toggled for
+        an exclusive full-GPU dispatch).  A dispatch starts late by this
+        value times the size of the GI diff between the layout the node
+        last served and the new one; layouts sharing their whole GI
+        multiset (e.g. S1 -> S2, which only re-binds jobs to existing
+        instances) reconfigure for free, which is how jobs on untouched
+        instances keep running through a reconfiguration.  0 restores the
+        batch manager's free reconfiguration.
     power_budget_w:
         Cluster-wide GPU power budget split across nodes by the
         :class:`ClusterPowerManager`.  ``None`` (the default) leaves every
@@ -77,13 +85,14 @@ class _RunState:
     heap: EventHeap = field(default_factory=EventHeap)
     clock: SimulationClock = field(default_factory=SimulationClock)
     completed: list[Job] = field(default_factory=list)
-    layouts: dict[int, str] = field(default_factory=dict)
+    layouts: dict[int, tuple[int, ...]] = field(default_factory=dict)
     shares: dict[int, float] = field(default_factory=dict)
     events_processed: int = 0
     service_time_s: float = 0.0
     energy_j: float = 0.0
     repartitions: int = 0
     repartition_time_s: float = 0.0
+    instance_changes: int = 0
     rebalances: int = 0
     rebalance_pending: bool = False
     profile_runs: int = 0
@@ -284,28 +293,73 @@ class ClusterSimulator:
                 CompletionEvent(time=finish, node_id=node.node_id, jobs=plan.jobs)
             )
 
+    def _layout_signature(self, plan: DispatchPlan) -> tuple[int, ...]:
+        """The sorted GI-size multiset the plan's dispatch requires."""
+        if plan.decision is None:
+            return _EXCLUSIVE_LAYOUT
+        return tuple(sorted(plan.decision.state.gi_sizes(self._spec)))
+
+    @staticmethod
+    def _instance_changes(
+        previous: tuple[int, ...] | None, layout: tuple[int, ...]
+    ) -> int:
+        """GPU Instances to create/destroy to move ``previous`` -> ``layout``.
+
+        ``None`` (a node's first dispatch) charges the full bring-up:
+        every GI of the new layout, or one MIG-mode toggle for an
+        exclusive dispatch.  Between two MIG layouts the cost is the
+        multiset difference of their GI sizes — instances present in both
+        layouts are untouched (jobs bound to them merely re-map to new
+        Compute Instances, which is free), and switching MIG mode on or
+        off adds one unit.
+        """
+        if previous == layout:
+            return 0
+        if previous is None:
+            return max(1, len(layout))
+        old, new = Counter(previous), Counter(layout)
+        created = sum((new - old).values())
+        destroyed = sum((old - new).values())
+        mode_toggle = int((previous == _EXCLUSIVE_LAYOUT) != (layout == _EXCLUSIVE_LAYOUT))
+        return created + destroyed + mode_toggle
+
+    @staticmethod
+    def _layout_label(layout: tuple[int, ...] | None) -> str:
+        """Human-readable GI multiset for the repartition event timeline."""
+        if layout is None:
+            return "(none)"
+        if layout == _EXCLUSIVE_LAYOUT:
+            return "exclusive-full"
+        return "+".join(f"{gpcs}GPC" for gpcs in layout)
+
     def _repartition_delay(
         self, plan: DispatchPlan, node: ComputeNode, state: _RunState
     ) -> float:
-        """Latency charged before the plan's MIG layout can serve jobs."""
-        layout = (
-            plan.decision.state.describe()
-            if plan.decision is not None
-            else _EXCLUSIVE_LAYOUT
-        )
+        """Latency charged before the plan's MIG layout can serve jobs.
+
+        Scales with the number of GPU Instances the reconfiguration
+        creates/destroys (see :meth:`_instance_changes`) instead of a flat
+        per-change constant, so re-binding jobs onto an unchanged GI
+        multiset is free and deeper re-partitions cost proportionally more.
+        """
+        layout = self._layout_signature(plan)
         previous = state.layouts.get(node.node_id)
         state.layouts[node.node_id] = layout
-        if self._config.repartition_latency_s == 0.0 or layout == previous:
+        if self._config.repartition_latency_s == 0.0:
             return 0.0
-        delay = self._config.repartition_latency_s
+        changes = self._instance_changes(previous, layout)
+        if changes == 0:
+            return 0.0
+        delay = self._config.repartition_latency_s * changes
         state.repartitions += 1
+        state.instance_changes += changes
         state.repartition_time_s += delay
         state.heap.push(
             RepartitionEvent(
                 time=state.clock.now + delay,
                 node_id=node.node_id,
-                previous_layout=previous if previous is not None else "(none)",
-                next_layout=layout,
+                previous_layout=self._layout_label(previous),
+                next_layout=self._layout_label(layout),
             )
         )
         return delay
@@ -358,6 +412,7 @@ class ClusterSimulator:
             events_processed=state.events_processed,
             repartitions=state.repartitions,
             repartition_time_s=state.repartition_time_s,
+            mig_instance_changes=state.instance_changes,
             power_rebalances=state.rebalances,
             final_power_allocation_w=dict(state.shares),
             peak_queue_length=state.peak_queue_length,

@@ -8,8 +8,12 @@ state ``(S, P)`` the paper models the relative performance as::
 where ``F_i`` is the profiled counter vector of application ``i`` and the
 coefficient vectors ``C`` and ``D`` are fitted *per hardware state* with
 least squares.  A hardware state, from the point of view of one application,
-is the triple (number of GPCs it received, memory option, chip power cap) —
-that is exactly what :class:`HardwareStateKey` encodes.
+is the tuple (number of GPCs it received, memory slices of its GPU
+Instance, memory option, chip power cap) — that is exactly what
+:class:`HardwareStateKey` encodes.  The memory-slice dimension is what
+distinguishes a Compute Instance inside a *sub-chip* shared GPU Instance
+(a mixed layout) from one inside the full-chip shared GI: both are
+"shared", but the former only reaches its GI's slice bandwidth.
 
 The scalability term alone is used for solo predictions (the paper ignores
 the interference term when only one application runs).
@@ -25,7 +29,13 @@ import numpy as np
 from repro.errors import ModelError, NotFittedError
 from repro.core.features import DEFAULT_BASIS, BasisFunctions
 from repro.gpu.mig import MemoryOption, PartitionState
+from repro.gpu.spec import A100_SPEC, GPUSpec, builtin_spec_named
 from repro.sim.counters import CounterVector
+
+#: Version of the hardware-state key schema.  Version 1 keyed coefficients
+#: on (gpcs, option, cap); version 2 added the GPU Instance's memory-slice
+#: count so sub-chip shared GIs stop borrowing full-chip coefficients.
+KEY_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -36,44 +46,67 @@ class HardwareStateKey:
     ----------
     gpcs:
         GPCs allocated to the application.
+    mem_slices:
+        LLC/HBM memory slices owned by the GPU Instance hosting the
+        application.  For a private GI this is the profile table's value
+        for the GI's size; for the full-chip shared GI it is the chip's
+        slice count; for a sub-chip shared GI (mixed layouts) it is the
+        slice count of that smaller instance.
     option:
-        LLC/HBM sharing option of the partition state.
+        Effective LLC/HBM sharing option the application experiences.
     power_cap_w:
         Chip power cap in watts.
     """
 
     gpcs: int
+    mem_slices: int
     option: MemoryOption
     power_cap_w: float
 
     def __post_init__(self) -> None:
+        if int(self.mem_slices) <= 0:
+            raise ModelError(
+                f"mem_slices must be a positive slice count, got {self.mem_slices!r}"
+            )
+        object.__setattr__(self, "mem_slices", int(self.mem_slices))
         object.__setattr__(self, "option", MemoryOption(self.option))
         object.__setattr__(self, "power_cap_w", float(self.power_cap_w))
 
     @classmethod
     def from_state(
-        cls, state: PartitionState, app_index: int, power_cap_w: float
+        cls,
+        state: PartitionState,
+        app_index: int,
+        power_cap_w: float,
+        spec: GPUSpec,
     ) -> "HardwareStateKey":
         """The key seen by application ``app_index`` under ``state`` at ``power_cap_w``.
 
         For mixed states the per-application option is the *effective* one
         (private when the application owns its GPU Instance, shared when it
-        shares one), so coefficients calibrated on the two base options can
-        be applied to mixed layouts.  This is an approximation: the key
-        does not encode the GPU Instance's size, so a shared sub-chip GI
-        reuses coefficients fitted on the full-chip pool and overestimates
-        the bandwidth available there (see ROADMAP — GI-size-aware keys
-        need mixed-state training data).
+        shares one).  The memory-slice count comes from the GPU Instance the
+        application actually lives in on ``spec`` — this is what separates a
+        sub-chip shared GI from the full-chip pool, so mixed layouts no
+        longer reuse (and overestimate) full-chip shared bandwidth
+        coefficients.
         """
         return cls(
             gpcs=state.gpc_allocations[app_index],
+            mem_slices=state.mem_slices_for(app_index, spec),
             option=state.effective_option(app_index),
             power_cap_w=float(power_cap_w),
         )
 
+    def sort_key(self) -> tuple:
+        """Deterministic ordering used for fitted-state listings."""
+        return (self.option.value, self.gpcs, self.mem_slices, self.power_cap_w)
+
     def describe(self) -> str:
         """Human-readable description."""
-        return f"{self.gpcs}GPCs/{self.option.value}/{self.power_cap_w:.0f}W"
+        return (
+            f"{self.gpcs}GPCs/{self.mem_slices}sl/"
+            f"{self.option.value}/{self.power_cap_w:.0f}W"
+        )
 
 
 class LinearPerfModel:
@@ -89,13 +122,19 @@ class LinearPerfModel:
     #: :meth:`predict_candidates`); bounded so stale grids are dropped.
     _GATHER_CACHE_SIZE = 8
 
-    def __init__(self, basis: BasisFunctions = DEFAULT_BASIS) -> None:
+    def __init__(
+        self, basis: BasisFunctions = DEFAULT_BASIS, spec: GPUSpec = A100_SPEC
+    ) -> None:
         self._basis = basis
+        self._spec = spec
         self._scalability: dict[HardwareStateKey, np.ndarray] = {}
         self._interference: dict[HardwareStateKey, np.ndarray] = {}
         self._coefficients_version = 0
         self._gather_cache: dict[
-            tuple, tuple[np.ndarray, np.ndarray | None, np.ndarray | None]
+            tuple,
+            tuple[
+                np.ndarray, np.ndarray | None, np.ndarray | None, np.ndarray | None
+            ],
         ] = {}
 
     # ------------------------------------------------------------------
@@ -105,6 +144,11 @@ class LinearPerfModel:
     def basis(self) -> BasisFunctions:
         """The basis functions the coefficients were fitted against."""
         return self._basis
+
+    @property
+    def spec(self) -> GPUSpec:
+        """The hardware spec the per-application keys are derived against."""
+        return self._spec
 
     @property
     def coefficients_version(self) -> int:
@@ -118,11 +162,11 @@ class LinearPerfModel:
 
     def fitted_scalability_states(self) -> tuple[HardwareStateKey, ...]:
         """Hardware states with a fitted scalability term."""
-        return tuple(sorted(self._scalability, key=lambda k: (k.option.value, k.gpcs, k.power_cap_w)))
+        return tuple(sorted(self._scalability, key=HardwareStateKey.sort_key))
 
     def fitted_interference_states(self) -> tuple[HardwareStateKey, ...]:
         """Hardware states with a fitted interference term."""
-        return tuple(sorted(self._interference, key=lambda k: (k.option.value, k.gpcs, k.power_cap_w)))
+        return tuple(sorted(self._interference, key=HardwareStateKey.sort_key))
 
     def has_scalability(self, key: HardwareStateKey) -> bool:
         """Whether a scalability coefficient vector exists for ``key``."""
@@ -183,6 +227,38 @@ class LinearPerfModel:
         value = float(self._scalability[key] @ self._basis.h(counters))
         return max(0.0, value)
 
+    def is_sub_chip_shared(self, key: HardwareStateKey) -> bool:
+        """Whether ``key`` describes a CI inside a *sub-chip* shared GI.
+
+        These keys only arise from mixed layouts; the full-chip shared
+        option always grants the whole chip's memory slices.
+        """
+        return (
+            key.option is MemoryOption.SHARED
+            and key.mem_slices < self._spec.n_mem_slices
+        )
+
+    def interference_scale(
+        self, key: HardwareStateKey, counters: CounterVector
+    ) -> float:
+        """Victim-side modulation of the interference term under ``key``.
+
+        In the full-chip shared pool the paper's plain additive term is
+        kept (``1.0`` — bit-identical to the pair-era model).  A sub-chip
+        shared GI saturates: how much a co-runner's pressure costs the
+        victim is roughly proportional to the victim's *own* DRAM appetite
+        (a compute-bound CI barely notices a streaming GI-mate, a
+        bandwidth-bound one loses its share of an already-halved pool), so
+        the term is scaled by the victim's DRAM-intensity counter (the F3
+        fraction — the ``J1`` feature of the Table 4 basis, but read from
+        the counters directly so a custom basis cannot silently invert the
+        physics).  The trainer applies the same scale when fitting, keeping
+        fit and prediction consistent.
+        """
+        if not self.is_sub_chip_shared(key):
+            return 1.0
+        return counters.dram_throughput / 100.0
+
     def predict_rperf(
         self,
         counters: CounterVector,
@@ -203,8 +279,9 @@ class LinearPerfModel:
                     f"no interference coefficients fitted for state {key.describe()}"
                 )
             d = self._interference[key]
+            scale = self.interference_scale(key, counters)
             for other in co_counters:
-                value += float(d @ self._basis.j(other))
+                value += scale * float(d @ self._basis.j(other))
         return max(0.0, value)
 
     def predict_corun(
@@ -221,7 +298,7 @@ class LinearPerfModel:
             )
         predictions = []
         for index, counters in enumerate(counters_list):
-            key = HardwareStateKey.from_state(state, index, power_cap_w)
+            key = HardwareStateKey.from_state(state, index, power_cap_w, self._spec)
             partners = [
                 counters_list[j] for j in state.interference_partners(index)
             ]
@@ -248,7 +325,7 @@ class LinearPerfModel:
         n_candidates = len(candidates)
         h_vecs = [self._basis.h(c) for c in counters_list]
         j_vecs = [self._basis.j(c) for c in counters_list]
-        scalability, interference, partner_mask = self._gather_coefficients(
+        scalability, interference, partner_mask, sub_chip = self._gather_coefficients(
             candidates, n_apps
         )
         predictions = np.empty((n_candidates, n_apps), dtype=float)
@@ -259,11 +336,18 @@ class LinearPerfModel:
             # state) per candidate.
             acc = scalability[:, i, :] @ h_vecs[i]
             if interference is not None:
+                # Per-candidate victim scale: 1.0 under full-chip keys
+                # (exact, preserving pair-era bit-parity), the victim's
+                # DRAM intensity under sub-chip shared keys — mirroring
+                # :meth:`interference_scale` on the scalar path.
+                assert sub_chip is not None and partner_mask is not None
+                victim_dram = counters_list[i].dram_throughput / 100.0
+                scale = 1.0 + sub_chip[:, i] * (victim_dram - 1.0)
                 for k in range(n_apps):
                     if k == i:
                         continue
                     acc = acc + partner_mask[:, i, k] * (
-                        interference[:, i, :] @ j_vecs[k]
+                        scale * (interference[:, i, :] @ j_vecs[k])
                     )
             predictions[:, i] = np.maximum(0.0, acc)
         return predictions
@@ -272,7 +356,9 @@ class LinearPerfModel:
         self,
         candidates: Sequence[tuple[PartitionState, float]],
         n_apps: int,
-    ) -> tuple[np.ndarray, np.ndarray | None, np.ndarray | None]:
+    ) -> tuple[
+        np.ndarray, np.ndarray | None, np.ndarray | None, np.ndarray | None
+    ]:
         """Coefficient tensors and partner mask for a grid, memoized per grid.
 
         The gather depends only on the grid and the fitted coefficients —
@@ -301,6 +387,9 @@ class LinearPerfModel:
             if n_apps > 1
             else None
         )
+        sub_chip = (
+            np.zeros((n_candidates, n_apps), dtype=float) if n_apps > 1 else None
+        )
         for ci, (state, power_cap_w) in enumerate(candidates):
             if state.n_apps != n_apps:
                 raise ModelError(
@@ -308,7 +397,7 @@ class LinearPerfModel:
                     f"applications but {n_apps} profiles were supplied"
                 )
             for i in range(n_apps):
-                key = HardwareStateKey.from_state(state, i, power_cap_w)
+                key = HardwareStateKey.from_state(state, i, power_cap_w, self._spec)
                 self._require_scalability(key)
                 scalability[ci, i] = self._scalability[key]
                 if interference is not None and partner_mask is not None:
@@ -318,10 +407,17 @@ class LinearPerfModel:
                         )
                     interference[ci, i] = self._interference[key]
                     partner_mask[ci, i, list(state.interference_partners(i))] = 1.0
+                    if sub_chip is not None and self.is_sub_chip_shared(key):
+                        sub_chip[ci, i] = 1.0
         if len(self._gather_cache) >= self._GATHER_CACHE_SIZE:
             self._gather_cache.clear()
-        self._gather_cache[cache_key] = (scalability, interference, partner_mask)
-        return scalability, interference, partner_mask
+        self._gather_cache[cache_key] = (
+            scalability,
+            interference,
+            partner_mask,
+            sub_chip,
+        )
+        return scalability, interference, partner_mask, sub_chip
 
     def supports_candidate(
         self,
@@ -339,7 +435,7 @@ class LinearPerfModel:
         )
         for power_cap in power_caps:
             for index in range(state.n_apps):
-                key = HardwareStateKey.from_state(state, index, power_cap)
+                key = HardwareStateKey.from_state(state, index, power_cap, self._spec)
                 if key not in self._scalability:
                     return False
                 if needs_interference and key not in self._interference:
@@ -356,6 +452,7 @@ class LinearPerfModel:
             return [
                 {
                     "gpcs": key.gpcs,
+                    "mem_slices": key.mem_slices,
                     "option": key.option.value,
                     "power_cap_w": key.power_cap_w,
                     "coefficients": [float(v) for v in coeffs],
@@ -365,29 +462,69 @@ class LinearPerfModel:
 
         return {
             "format": "repro-linear-perf-model",
-            "version": 1,
+            "version": KEY_SCHEMA_VERSION,
             "basis": self._basis.name,
+            "spec": self._spec.name,
             "scalability": encode(self._scalability),
             "interference": encode(self._interference),
         }
 
     @classmethod
-    def from_dict(cls, data: dict, basis: BasisFunctions = DEFAULT_BASIS) -> "LinearPerfModel":
-        """Rebuild a model from :meth:`to_dict` output."""
+    def from_dict(
+        cls,
+        data: dict,
+        basis: BasisFunctions = DEFAULT_BASIS,
+        spec: GPUSpec | None = None,
+    ) -> "LinearPerfModel":
+        """Rebuild a model from :meth:`to_dict` output.
+
+        ``spec`` defaults to the built-in spec whose full name the document
+        recorded; pass it explicitly when the model was fitted against a
+        custom :class:`~repro.gpu.spec.GPUSpec`.
+        """
         if data.get("format") != "repro-linear-perf-model":
             raise ModelError("not a linear-performance-model document")
+        version = data.get("version")
+        if version != KEY_SCHEMA_VERSION:
+            raise ModelError(
+                f"model document uses key schema v{version!r} but this build "
+                f"expects v{KEY_SCHEMA_VERSION} (hardware-state keys now "
+                f"include the GPU Instance's memory-slice count); retrain the "
+                f"model to regenerate its coefficients"
+            )
         if data.get("basis") != basis.name:
             raise ModelError(
                 f"model was fitted with basis {data.get('basis')!r} but "
                 f"{basis.name!r} was supplied"
             )
-        model = cls(basis)
+        stored_spec_name = str(data.get("spec", ""))
+        if spec is None:
+            spec = builtin_spec_named(stored_spec_name)
+            if spec is None:
+                raise ModelError(
+                    f"model document was fitted for spec {stored_spec_name!r}, "
+                    f"which is not a built-in spec; pass the matching GPUSpec "
+                    f"to from_dict explicitly"
+                )
+        elif stored_spec_name and spec.name != stored_spec_name:
+            raise ModelError(
+                f"model document was fitted for spec {stored_spec_name!r} but "
+                f"{spec.name!r} was supplied"
+            )
+
+        def decode_key(entry: dict) -> HardwareStateKey:
+            return HardwareStateKey(
+                entry["gpcs"],
+                entry["mem_slices"],
+                MemoryOption(entry["option"]),
+                entry["power_cap_w"],
+            )
+
+        model = cls(basis, spec=spec)
         for entry in data.get("scalability", []):
-            key = HardwareStateKey(entry["gpcs"], MemoryOption(entry["option"]), entry["power_cap_w"])
-            model.set_scalability_coefficients(key, np.array(entry["coefficients"]))
+            model.set_scalability_coefficients(decode_key(entry), np.array(entry["coefficients"]))
         for entry in data.get("interference", []):
-            key = HardwareStateKey(entry["gpcs"], MemoryOption(entry["option"]), entry["power_cap_w"])
-            model.set_interference_coefficients(key, np.array(entry["coefficients"]))
+            model.set_interference_coefficients(decode_key(entry), np.array(entry["coefficients"]))
         return model
 
     # ------------------------------------------------------------------
@@ -402,11 +539,12 @@ class LinearPerfModel:
 def required_state_keys(
     states: Iterable[PartitionState],
     power_caps: Iterable[float],
+    spec: GPUSpec = A100_SPEC,
 ) -> tuple[HardwareStateKey, ...]:
     """Every per-application hardware state implied by states × power caps."""
     keys: set[HardwareStateKey] = set()
     for state in states:
         for power_cap in power_caps:
             for index in range(state.n_apps):
-                keys.add(HardwareStateKey.from_state(state, index, power_cap))
-    return tuple(sorted(keys, key=lambda k: (k.option.value, k.gpcs, k.power_cap_w)))
+                keys.add(HardwareStateKey.from_state(state, index, power_cap, spec))
+    return tuple(sorted(keys, key=HardwareStateKey.sort_key))

@@ -18,8 +18,8 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.features import DEFAULT_BASIS, BasisFunctions
-from repro.core.model import LinearPerfModel
-from repro.errors import ModelError
+from repro.core.model import KEY_SCHEMA_VERSION, LinearPerfModel
+from repro.errors import ModelCacheError, ModelError
 from repro.gpu.spec import GPUSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (workflow imports us)
@@ -27,8 +27,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle (workflow imports us)
 
 #: Format tag of the model-store document.
 STORE_FORMAT = "repro-model-store"
-#: Version written by :func:`save_model`.
-STORE_VERSION = 1
+#: Version written by :func:`save_model`.  Version 1 stored pair-era
+#: (gpcs, option, cap) keys; version 2 carries the GI-size-aware key
+#: schema (see :data:`repro.core.model.KEY_SCHEMA_VERSION`).
+STORE_VERSION = 2
 
 
 def plan_digest(plan: "TrainingPlan") -> str:
@@ -52,16 +54,19 @@ def plan_digest(plan: "TrainingPlan") -> str:
 class ModelFingerprint:
     """What a stored model was trained for.
 
-    Two fingerprints are compatible when the spec name matches, the stored
-    cap grid covers every cap the caller wants to use, and the training
-    grids coincide (see :func:`plan_digest`) — a cache trained on the
-    pair-only Table 5 grid must not silently serve an N-way request it has
-    no coefficients for.
+    Two fingerprints are compatible when the model-key schema version
+    matches, the spec name matches, the stored cap grid covers every cap
+    the caller wants to use, and the training grids coincide (see
+    :func:`plan_digest`) — a cache trained on the pair-only Table 5 grid
+    must not silently serve an N-way request it has no coefficients for,
+    and a pair-era (schema v1) cache must not silently serve GI-size-aware
+    predictions.
     """
 
     spec_name: str
     power_caps: tuple[float, ...]
     grid_digest: str = ""
+    key_schema: int = KEY_SCHEMA_VERSION
 
     @classmethod
     def for_workflow(
@@ -75,24 +80,33 @@ class ModelFingerprint:
             spec_name=spec.name,
             power_caps=tuple(sorted(float(p) for p in power_caps)),
             grid_digest=plan_digest(plan) if plan is not None else "",
+            key_schema=KEY_SCHEMA_VERSION,
         )
 
     def check_compatible(self, other: "ModelFingerprint", path: Path) -> None:
-        """Raise :class:`ModelError` when ``other`` cannot serve this request."""
+        """Raise :class:`ModelCacheError` when ``other`` cannot serve this request."""
+        if self.key_schema != other.key_schema:
+            raise ModelCacheError(
+                f"model cache {path} was written with model-key schema "
+                f"v{other.key_schema} but this build uses v{self.key_schema} "
+                f"(keys now include the GPU Instance's memory-slice count); "
+                f"delete the cache and retrain to regenerate it"
+            )
         if self.spec_name != other.spec_name:
-            raise ModelError(
+            raise ModelCacheError(
                 f"model cache {path} was trained for {other.spec_name!r} but "
                 f"{self.spec_name!r} was requested; delete the cache or pass a "
                 f"different --model path"
             )
         missing = [p for p in self.power_caps if p not in other.power_caps]
         if missing:
-            raise ModelError(
+            raise ModelCacheError(
                 f"model cache {path} lacks coefficients for power cap(s) "
-                f"{missing} W (stored grid: {list(other.power_caps)} W)"
+                f"{missing} W (stored grid: {list(other.power_caps)} W); "
+                f"delete the cache and retrain on the requested grid"
             )
         if self.grid_digest and other.grid_digest and self.grid_digest != other.grid_digest:
-            raise ModelError(
+            raise ModelCacheError(
                 f"model cache {path} was trained on a different partition-state "
                 f"grid (e.g. pair-only Table 5 vs spec-derived N-way); delete "
                 f"the cache or pass a different --model path"
@@ -109,6 +123,7 @@ def save_model(
     document = {
         "format": STORE_FORMAT,
         "version": STORE_VERSION,
+        "key_schema": fingerprint.key_schema,
         "spec": fingerprint.spec_name,
         "power_caps": list(fingerprint.power_caps),
         "grid_digest": fingerprint.grid_digest,
@@ -123,14 +138,17 @@ def load_model(
     path: str | Path,
     basis: BasisFunctions = DEFAULT_BASIS,
     expected: ModelFingerprint | None = None,
+    spec: GPUSpec | None = None,
 ) -> LinearPerfModel:
     """Read a model from ``path``, optionally validating its fingerprint.
 
     Raises
     ------
+    repro.errors.ModelCacheError
+        If the cache predates the GI-size-aware key schema or was trained
+        for different hardware / a different grid than ``expected``.
     repro.errors.ModelError
-        If the file is not a model-store document, has an unsupported
-        version, or was trained for different hardware than ``expected``.
+        If the file is not a model-store document at all.
     """
     path = Path(path)
     if not path.exists():
@@ -141,15 +159,24 @@ def load_model(
         raise ModelError(f"model cache {path} is not valid JSON: {exc}") from None
     if not isinstance(document, dict) or document.get("format") != STORE_FORMAT:
         raise ModelError(f"{path} is not a {STORE_FORMAT!r} document")
-    if document.get("version") != STORE_VERSION:
+    version = document.get("version")
+    if version == 1:
+        raise ModelCacheError(
+            f"model cache {path} predates the GI-size-aware key schema "
+            f"(store version 1, keys without memory-slice counts); delete the "
+            f"cache and retrain — the CLI retrains and rewrites it "
+            f"automatically when the file is absent"
+        )
+    if version != STORE_VERSION:
         raise ModelError(
-            f"{path}: unsupported model-store version {document.get('version')!r}"
+            f"{path}: unsupported model-store version {version!r}"
         )
     stored = ModelFingerprint(
         spec_name=str(document.get("spec", "")),
         power_caps=tuple(float(p) for p in document.get("power_caps", [])),
         grid_digest=str(document.get("grid_digest", "")),
+        key_schema=int(document.get("key_schema", 1)),
     )
     if expected is not None:
         expected.check_compatible(stored, path)
-    return LinearPerfModel.from_dict(document["model"], basis=basis)
+    return LinearPerfModel.from_dict(document["model"], basis=basis, spec=spec)

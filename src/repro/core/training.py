@@ -12,7 +12,15 @@ The paper's calibration procedure has two stages:
    prediction is regressed on the co-runner's ``J(F)`` features, giving
    ``D(S,P)``.
 
-Both stages work purely on measurement records, so they can equally be fed
+A third stage extends the paper's procedure to *mixed* GI layouts: a
+Compute Instance inside a sub-chip shared GPU Instance reaches a hardware
+state (GPCs × the GI's memory slices × shared) that no solo run can
+realize, so its scalability and interference coefficients are fitted
+**jointly** from mixed-state co-run measurements (design ``[H | ΣJ]``).
+Keys the solo sweep does reach are never touched by this stage, which
+keeps full-GI predictions bit-identical to the two-stage fit.
+
+All stages work purely on measurement records, so they can equally be fed
 from the simulator (this reproduction) or from real hardware runs.
 """
 
@@ -28,6 +36,7 @@ from repro.core.features import DEFAULT_BASIS, BasisFunctions
 from repro.core.model import HardwareStateKey, LinearPerfModel
 from repro.errors import ModelError
 from repro.gpu.mig import CORUN_STATES, MemoryOption, PartitionState, solo_state
+from repro.gpu.spec import A100_SPEC, GPUSpec
 from repro.sim.counters import CounterVector
 from repro.sim.engine import PerformanceSimulator
 from repro.workloads.kernel import KernelCharacteristics
@@ -35,7 +44,13 @@ from repro.workloads.kernel import KernelCharacteristics
 
 @dataclass(frozen=True)
 class SoloMeasurement:
-    """One solo training measurement: an application on one hardware state."""
+    """One solo training measurement: an application on one hardware state.
+
+    ``mem_slices`` records the memory slices of the GPU Instance the run
+    executed in (the GI's own slices under the private option, the full
+    chip's under the shared option), so the measurement carries its
+    complete GI-size-aware hardware-state key.
+    """
 
     kernel_name: str
     counters: CounterVector
@@ -43,11 +58,12 @@ class SoloMeasurement:
     option: MemoryOption
     power_cap_w: float
     relative_performance: float
+    mem_slices: int
 
     @property
     def key(self) -> HardwareStateKey:
         """The hardware-state key this measurement calibrates."""
-        return HardwareStateKey(self.gpcs, self.option, self.power_cap_w)
+        return HardwareStateKey(self.gpcs, self.mem_slices, self.option, self.power_cap_w)
 
 
 @dataclass(frozen=True)
@@ -83,6 +99,7 @@ class TrainingReport:
     n_corun_measurements: int = 0
     scalability_residuals: dict[HardwareStateKey, float] = field(default_factory=dict)
     interference_residuals: dict[HardwareStateKey, float] = field(default_factory=dict)
+    mixed_residuals: dict[HardwareStateKey, float] = field(default_factory=dict)
 
     @property
     def worst_scalability_residual(self) -> float:
@@ -94,6 +111,11 @@ class TrainingReport:
         """Largest per-state RMS residual of the interference fit."""
         return max(self.interference_residuals.values(), default=0.0)
 
+    @property
+    def worst_mixed_residual(self) -> float:
+        """Largest per-state RMS residual of the joint mixed-state fit."""
+        return max(self.mixed_residuals.values(), default=0.0)
+
 
 class ModelTrainer:
     """Least-squares calibration of :class:`~repro.core.model.LinearPerfModel`."""
@@ -102,17 +124,24 @@ class ModelTrainer:
         self,
         basis: BasisFunctions = DEFAULT_BASIS,
         ridge: float = 1e-6,
+        spec: GPUSpec = A100_SPEC,
     ) -> None:
         if ridge < 0:
             raise ModelError(f"ridge parameter must be >= 0, got {ridge}")
         self._basis = basis
         self._ridge = ridge
+        self._spec = spec
         self.last_report: TrainingReport | None = None
 
     @property
     def basis(self) -> BasisFunctions:
         """The basis functions used for fitting."""
         return self._basis
+
+    @property
+    def spec(self) -> GPUSpec:
+        """The hardware spec the per-application keys are derived against."""
+        return self._spec
 
     # ------------------------------------------------------------------
     # Low-level regression helper
@@ -133,7 +162,7 @@ class ModelTrainer:
         model: LinearPerfModel | None = None,
     ) -> LinearPerfModel:
         """Fit ``C(S, P)`` for every hardware state present in ``measurements``."""
-        model = model if model is not None else LinearPerfModel(self._basis)
+        model = model if model is not None else LinearPerfModel(self._basis, spec=self._spec)
         report = self.last_report or TrainingReport()
         report.n_solo_measurements += len(measurements)
         grouped: dict[HardwareStateKey, list[SoloMeasurement]] = {}
@@ -159,15 +188,24 @@ class ModelTrainer:
         measurements: Sequence[CoRunMeasurement],
         model: LinearPerfModel,
     ) -> LinearPerfModel:
-        """Fit ``D(S, P)`` from co-run measurements, with ``C`` already fitted."""
+        """Fit ``D(S, P)`` from co-run measurements, with ``C`` already fitted.
+
+        Mixed-state measurements are excluded: their sub-chip shared keys
+        have no solo-swept scalability term to take residuals against, and
+        even their private-GI rows must not perturb the pair-era residual
+        regressions (full-GI coefficients stay bit-identical to a training
+        run without mixed states).  They are consumed by :meth:`fit_mixed`.
+        """
         report = self.last_report or TrainingReport()
         report.n_corun_measurements += len(measurements)
         design_rows: dict[HardwareStateKey, list[np.ndarray]] = {}
         targets: dict[HardwareStateKey, list[float]] = {}
         for measurement in measurements:
+            if measurement.state.option is MemoryOption.MIXED:
+                continue
             for index in range(measurement.state.n_apps):
                 key = HardwareStateKey.from_state(
-                    measurement.state, index, measurement.power_cap_w
+                    measurement.state, index, measurement.power_cap_w, self._spec
                 )
                 own_counters = measurement.counters[index]
                 others = [
@@ -194,16 +232,85 @@ class ModelTrainer:
         return model
 
     # ------------------------------------------------------------------
+    # Stage 3: mixed-state (sub-chip shared GI) term
+    # ------------------------------------------------------------------
+    def fit_mixed(
+        self,
+        measurements: Sequence[CoRunMeasurement],
+        model: LinearPerfModel,
+    ) -> LinearPerfModel:
+        """Jointly fit ``C`` and ``D`` for sub-chip shared GI states.
+
+        A Compute Instance inside a sub-chip shared GPU Instance reaches a
+        hardware-state key no solo run can realize, so its scalability and
+        interference coefficients are regressed together from mixed-state
+        co-run measurements: each row stacks ``[H(F_i) | s_i · Σ_j J(F_j)]``
+        against the measured relative performance, where ``s_i`` is the
+        victim-side interference scale the model applies at prediction time
+        (see :meth:`LinearPerfModel.interference_scale` — sub-chip pools
+        saturate, so a co-runner's pressure costs the victim in proportion
+        to its own DRAM appetite).  Keys the solo sweep already calibrated
+        are skipped (their rows belong to the private or full-chip shared
+        fits and must stay untouched), as are applications alone in their
+        GI (their keys are plain private ones).
+        """
+        report = self.last_report or TrainingReport()
+        design_rows: dict[HardwareStateKey, list[np.ndarray]] = {}
+        targets: dict[HardwareStateKey, list[float]] = {}
+        for measurement in measurements:
+            if measurement.state.option is not MemoryOption.MIXED:
+                continue
+            for index in range(measurement.state.n_apps):
+                key = HardwareStateKey.from_state(
+                    measurement.state, index, measurement.power_cap_w, self._spec
+                )
+                # Only sub-chip shared keys are fitted here.  An application
+                # alone in its GI carries a plain PRIVATE key: if the solo
+                # sweep covered it the coefficients must stay untouched, and
+                # if it did not, fitting it from cross-GI co-runner rows
+                # would silently produce wrong private-key coefficients —
+                # leaving it unfitted raises the honest NotFittedError.
+                if key.option is not MemoryOption.SHARED:
+                    continue
+                if model.has_scalability(key):
+                    continue
+                others = [
+                    measurement.counters[j]
+                    for j in measurement.state.interference_partners(index)
+                ]
+                own = self._basis.h(measurement.counters[index])
+                scale = model.interference_scale(key, measurement.counters[index])
+                partners = scale * np.sum(self._basis.j_matrix(others), axis=0)
+                design_rows.setdefault(key, []).append(
+                    np.concatenate([own, partners])
+                )
+                targets.setdefault(key, []).append(
+                    measurement.relative_performances[index]
+                )
+        h_dim = self._basis.h_dim
+        for key, rows in design_rows.items():
+            design = np.vstack(rows)
+            target = np.array(targets[key], dtype=float)
+            coefficients = self._least_squares(design, target)
+            model.set_scalability_coefficients(key, coefficients[:h_dim])
+            model.set_interference_coefficients(key, coefficients[h_dim:])
+            residual = design @ coefficients - target
+            report.mixed_residuals[key] = float(np.sqrt(np.mean(residual**2)))
+        self.last_report = report
+        return model
+
+    # ------------------------------------------------------------------
     def train(
         self,
         solo_measurements: Sequence[SoloMeasurement],
         corun_measurements: Sequence[CoRunMeasurement] = (),
     ) -> LinearPerfModel:
-        """Run both calibration stages and return the fitted model."""
+        """Run every calibration stage and return the fitted model."""
         self.last_report = TrainingReport()
         model = self.fit_scalability(solo_measurements)
         if corun_measurements:
             model = self.fit_interference(corun_measurements, model)
+            model = self.fit_mixed(corun_measurements, model)
         return model
 
 
@@ -223,8 +330,10 @@ def collect_solo_measurements(
         counters = simulator.profile(kernel)
         for option in options:
             for gpcs in gpc_counts:
+                state = solo_state(gpcs, option)
+                mem_slices = state.mem_slices_for(0, simulator.spec)
                 for power_cap in power_caps:
-                    run = simulator.solo_run(kernel, solo_state(gpcs, option), power_cap)
+                    run = simulator.solo_run(kernel, state, power_cap)
                     measurements.append(
                         SoloMeasurement(
                             kernel_name=kernel.name,
@@ -233,6 +342,7 @@ def collect_solo_measurements(
                             option=MemoryOption(option),
                             power_cap_w=float(power_cap),
                             relative_performance=run.relative_performance,
+                            mem_slices=mem_slices,
                         )
                     )
     return measurements

@@ -40,11 +40,13 @@ from repro.gpu.mig import (
     MemoryOption,
     PartitionState,
     enumerate_partition_states,
+    mixed_training_states,
 )
 from repro.gpu.spec import A100_SPEC, GPUSpec
 from repro.profiling.database import ProfileDatabase
 from repro.profiling.profiler import ProfileCollector
 from repro.sim.engine import PerformanceSimulator
+from repro.workloads.groups import CoRunGroup, groups_of_size, synthetic_training_groups
 from repro.workloads.kernel import KernelCharacteristics
 from repro.workloads.pairs import CORUN_PAIRS, CoRunPair
 from repro.workloads.suite import BenchmarkSuite, DEFAULT_SUITE
@@ -80,12 +82,32 @@ class TrainingPlan:
         The solo-sweep grid (GPC counts × memory options × power caps).
     states:
         The co-run partition states used for the interference calibration.
+        States of any group size may be listed; each training workload only
+        executes the states matching its size, and *mixed* states feed the
+        joint sub-chip shared GI fit (``ModelTrainer.fit_mixed``).
     """
 
     gpc_counts: tuple[int, ...] = SCALABILITY_GPC_COUNTS
     options: tuple[MemoryOption, ...] = (MemoryOption.PRIVATE, MemoryOption.SHARED)
     power_caps: tuple[float, ...] = DEFAULT_POWER_CAPS
     states: tuple[PartitionState, ...] = CORUN_STATES
+
+    @property
+    def pair_states(self) -> tuple[PartitionState, ...]:
+        """The two-application states of the calibration grid."""
+        return tuple(state for state in self.states if state.n_apps == 2)
+
+    @property
+    def mixed_states(self) -> tuple[PartitionState, ...]:
+        """The mixed (multi-GI) states of the calibration grid."""
+        return tuple(
+            state for state in self.states if state.option is MemoryOption.MIXED
+        )
+
+    @property
+    def group_sizes(self) -> tuple[int, ...]:
+        """Sizes above two whose states need N-way training workloads."""
+        return tuple(sorted({s.n_apps for s in self.states if s.n_apps > 2}))
 
     @property
     def solo_runs_per_kernel(self) -> int:
@@ -95,7 +117,7 @@ class TrainingPlan:
     @property
     def corun_runs_per_pair(self) -> int:
         """Number of co-run training runs each pair requires."""
-        return len(self.states) * len(self.power_caps)
+        return len(self.pair_states) * len(self.power_caps)
 
     @classmethod
     def for_spec(
@@ -105,12 +127,14 @@ class TrainingPlan:
     ) -> "TrainingPlan":
         """A plan whose grid is derived from ``spec`` instead of Table 5.
 
-        The solo sweep covers every MIG instance size the spec offers and
-        the interference calibration covers *every* realizable pair state,
-        so the fitted coefficients support allocation decisions for groups
-        of any size (the interference term composes additively over
-        co-runners, Section 4.3).  This is the plan to use for N-way
-        scheduling or for non-A100 specs whose profile table differs.
+        The solo sweep covers every MIG instance size the spec offers, the
+        interference calibration covers *every* realizable pair state, and
+        a covering subset of three-application mixed states calibrates the
+        sub-chip shared GI keys that only mixed layouts reach, so the
+        fitted coefficients support allocation decisions for groups of any
+        size (the interference term composes additively over co-runners,
+        Section 4.3).  This is the plan to use for N-way scheduling or for
+        non-A100 specs whose profile table differs.
         """
         if power_caps is None:
             power_caps = power_caps_for_spec(spec)
@@ -124,7 +148,7 @@ class TrainingPlan:
             gpc_counts=sizes,
             options=(MemoryOption.PRIVATE, MemoryOption.SHARED),
             power_caps=tuple(float(p) for p in power_caps),
-            states=pair_states,
+            states=pair_states + mixed_training_states(spec),
         )
 
 
@@ -156,7 +180,7 @@ class OfflineTrainer:
         self._suite = suite
         self._plan = plan
         self._basis = basis
-        self._trainer = ModelTrainer(basis)
+        self._trainer = ModelTrainer(basis, spec=self._simulator.spec)
 
     @property
     def simulator(self) -> PerformanceSimulator:
@@ -177,11 +201,17 @@ class OfflineTrainer:
         self,
         training_kernels: Iterable[KernelCharacteristics] | None = None,
         training_pairs: Sequence[CoRunPair] | None = None,
+        training_groups: Sequence[CoRunGroup] | None = None,
     ) -> LinearPerfModel:
         """Execute the training sweeps and return the calibrated model.
 
         ``training_kernels`` defaults to every benchmark of the suite;
-        ``training_pairs`` defaults to the Table 8 co-run workloads.
+        ``training_pairs`` defaults to the Table 8 co-run workloads;
+        ``training_groups`` defaults to the predefined N-way workloads of
+        every size the plan's states need beyond pairs, plus synthetic
+        groups densifying the mixed-state sweep — pass an explicit
+        sequence (even an empty one) to control exactly which N-way
+        workloads execute.
         """
         kernels = (
             list(training_kernels)
@@ -189,6 +219,22 @@ class OfflineTrainer:
             else list(self._suite.all())
         )
         pairs = list(training_pairs) if training_pairs is not None else list(CORUN_PAIRS)
+        synthetic: list[tuple[KernelCharacteristics, ...]] = []
+        if training_groups is None:
+            training_groups = [
+                group
+                for size in self._plan.group_sizes
+                for group in groups_of_size(size)
+            ]
+            # Sub-chip shared GI keys are calibrated jointly from
+            # mixed-state rows only; densify that sweep with synthetic
+            # groups so the fit spans the victim x co-runner feature plane
+            # beyond the handful of named triples.  Passing an explicit
+            # ``training_groups`` (even an empty one) suppresses this, so
+            # ablations and real-hardware calibrations keep full control
+            # of what actually runs.
+            for size in sorted({s.n_apps for s in self._plan.mixed_states}):
+                synthetic.extend(synthetic_training_groups(group_size=size))
         solo = collect_solo_measurements(
             self._simulator,
             kernels,
@@ -196,10 +242,12 @@ class OfflineTrainer:
             options=self._plan.options,
             power_caps=self._plan.power_caps,
         )
-        pair_kernels = [pair.kernels(self._suite) for pair in pairs]
+        group_kernels = [pair.kernels(self._suite) for pair in pairs]
+        group_kernels.extend(group.kernels(self._suite) for group in training_groups)
+        group_kernels.extend(synthetic)
         corun = collect_corun_measurements(
             self._simulator,
-            pair_kernels,
+            group_kernels,
             states=self._plan.states,
             power_caps=self._plan.power_caps,
         )
@@ -455,7 +503,12 @@ class PaperWorkflow:
         path = Path(model_path)
         if path.exists():
             return self.adopt_model(
-                load_model(path, basis=self._offline.trainer.basis, expected=fingerprint)
+                load_model(
+                    path,
+                    basis=self._offline.trainer.basis,
+                    expected=fingerprint,
+                    spec=self._simulator.spec,
+                )
             )
         model = self.train()
         save_model(model, path, fingerprint)

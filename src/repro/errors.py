@@ -62,6 +62,16 @@ class NotFittedError(ModelError):
     """The model was asked to predict before the coefficients were fitted."""
 
 
+class ModelCacheError(ModelError):
+    """A persisted model cache cannot serve this request.
+
+    Raised when a cached model file was written for different hardware, a
+    different calibration grid, or an older model-key schema.  The remedy is
+    always the same: delete (or re-point) the cache and retrain — the CLI
+    retrains and rewrites the file automatically when it is absent.
+    """
+
+
 class OptimizationError(ReproError):
     """The allocator could not produce a decision for the given policy."""
 

@@ -257,6 +257,28 @@ class PartitionState:
             return total
         return spec.smallest_instance_holding(total)
 
+    def mem_slices_for(self, index: int, spec: GPUSpec = A100_SPEC) -> int:
+        """Memory slices of the GPU Instance hosting application ``index``.
+
+        This is the slice count behind the per-application model key: a
+        private GI contributes its own profile-table slices, the full-chip
+        shared GI the whole chip's, and a sub-chip shared GI (mixed
+        layouts) the slices of that smaller instance.
+        """
+        members = self.group_of(index)
+        return spec.instance_mem_slices(self.gi_size_for_group(members, spec))
+
+    def gi_sizes(self, spec: GPUSpec = A100_SPEC) -> tuple[int, ...]:
+        """GPCs of every GPU Instance the state creates, in GI order.
+
+        The multiset of GI sizes is what a MIG reconfiguration actually
+        tears down and rebuilds; two states with the same multiset (e.g.
+        S1 and S2) can be re-bound without touching any GPU Instance.
+        """
+        return tuple(
+            self.gi_size_for_group(members, spec) for members in self.groups()
+        )
+
     def allocation_for(self, index: int, spec: GPUSpec = A100_SPEC) -> InstanceAllocation:
         """Resources visible to application ``index`` (0-based) on ``spec``."""
         if not (0 <= index < self.n_apps):
@@ -503,6 +525,35 @@ def enumerate_corun_states(
     :func:`enumerate_partition_states`.
     """
     return tuple(enumerate_partition_states(2, spec, options))
+
+
+def mixed_training_states(
+    spec: GPUSpec = A100_SPEC, n_apps: int = 3
+) -> tuple[PartitionState, ...]:
+    """A covering subset of mixed states for the calibration sweep.
+
+    Keeps one representative per distinct multiset of per-application
+    ``(gpcs, GI memory slices, effective option)`` triples.  Together the
+    representatives reach every sub-chip shared hardware-state key any
+    mixed layout on ``spec`` can produce — larger groups only recombine
+    the same GI profiles, so the three-application sweep covers the keys
+    of four-way (and wider) mixed layouts too — while dropping the
+    allocation permutations that would merely repeat the same keys.
+    """
+    representatives: dict[tuple, PartitionState] = {}
+    for state in enumerate_partition_states(n_apps, spec, (MemoryOption.MIXED,)):
+        signature = tuple(
+            sorted(
+                (
+                    state.gpc_allocations[i],
+                    state.mem_slices_for(i, spec),
+                    state.effective_option(i).value,
+                )
+                for i in range(state.n_apps)
+            )
+        )
+        representatives.setdefault(signature, state)
+    return tuple(representatives.values())
 
 
 # ----------------------------------------------------------------------

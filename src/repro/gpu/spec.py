@@ -426,6 +426,18 @@ GPU_SPECS: Mapping[str, GPUSpec] = {
 }
 
 
+def builtin_spec_named(full_name: str) -> GPUSpec | None:
+    """The built-in :class:`GPUSpec` whose ``name`` field is ``full_name``.
+
+    Returns ``None`` when no built-in spec matches (e.g. a custom spec);
+    used by model deserialization to resolve the spec a document recorded.
+    """
+    for spec in GPU_SPECS.values():
+        if spec.name == full_name:
+            return spec
+    return None
+
+
 def spec_by_name(name: str) -> GPUSpec:
     """Look up a built-in :class:`GPUSpec` by short name (case-insensitive).
 

@@ -291,8 +291,16 @@ class PerformanceSimulator:
             co_located = state.group_of(index)
             others = [kernels[j] for j in co_located if j != index]
             if others:
-                compute_penalty = self._interference.compute_penalty(kernel, others)
-                memory_penalty = self._interference.memory_penalty(kernel, others)
+                # Contention happens inside the hosting GPU Instance, whose
+                # LLC share is proportional to its memory slices — a
+                # sub-chip shared GI (mixed layouts) is polluted harder
+                # than the full-chip pool by the same co-runner.
+                compute_penalty = self._interference.compute_penalty(
+                    kernel, others, pool_mem_slices=allocation.mem_slices
+                )
+                memory_penalty = self._interference.memory_penalty(
+                    kernel, others, pool_mem_slices=allocation.mem_slices
+                )
             else:
                 compute_penalty = 1.0
                 memory_penalty = 1.0

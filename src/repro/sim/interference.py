@@ -87,15 +87,38 @@ class InterferenceModel:
     # ------------------------------------------------------------------
     # Cache pressure / penalties
     # ------------------------------------------------------------------
-    def cache_pressure(self, co_runner: KernelCharacteristics) -> float:
+    def _pool_llc_mb(self, pool_mem_slices: int | None) -> float:
+        """LLC capacity of the contended pool (the hosting GPU Instance).
+
+        ``None`` means the full chip.  MIG distributes the LLC with the
+        memory slices, so a sub-chip GPU Instance (mixed layouts) only owns
+        a proportional share — the same co-runner working set pollutes a
+        far larger fraction of it.
+        """
+        if pool_mem_slices is None or pool_mem_slices == self._spec.n_mem_slices:
+            return self._spec.l2_cache_mb
+        if not (0 < pool_mem_slices <= self._spec.n_mem_slices):
+            raise SimulationError(
+                f"pool_mem_slices must be in (0, {self._spec.n_mem_slices}], "
+                f"got {pool_mem_slices}"
+            )
+        return self._spec.l2_cache_mb * pool_mem_slices / self._spec.n_mem_slices
+
+    def cache_pressure(
+        self,
+        co_runner: KernelCharacteristics,
+        pool_mem_slices: int | None = None,
+    ) -> float:
         """How much LLC pressure ``co_runner`` exerts, in ``[0, 1]``.
 
-        Pressure grows with the co-runner's working set relative to the LLC
-        capacity and, to a lesser extent, with its DRAM-bandwidth appetite
-        (streaming kernels keep refilling the cache even if a single pass
-        fits).
+        Pressure grows with the co-runner's working set relative to the
+        pool's LLC capacity (see :meth:`_pool_llc_mb`) and, to a lesser
+        extent, with its DRAM-bandwidth appetite (streaming kernels keep
+        refilling the cache even if a single pass fits).
         """
-        footprint = min(1.0, co_runner.working_set_mb / self._spec.l2_cache_mb)
+        footprint = min(
+            1.0, co_runner.working_set_mb / self._pool_llc_mb(pool_mem_slices)
+        )
         bandwidth_appetite = min(
             1.0,
             co_runner.memory_time_full_s / max(co_runner.reference_time_s, 1e-12),
@@ -107,22 +130,28 @@ class InterferenceModel:
         self,
         kernel: KernelCharacteristics,
         co_runners: Sequence[KernelCharacteristics],
+        pool_mem_slices: int | None = None,
     ) -> float:
         """Multiplier (>= 1) on the compute time caused by LLC pollution."""
         if not co_runners:
             return 1.0
-        pressure = max(self.cache_pressure(other) for other in co_runners)
+        pressure = max(
+            self.cache_pressure(other, pool_mem_slices) for other in co_runners
+        )
         return 1.0 + self._params.compute_l2_alpha * kernel.l2_sensitivity * pressure
 
     def memory_penalty(
         self,
         kernel: KernelCharacteristics,
         co_runners: Sequence[KernelCharacteristics],
+        pool_mem_slices: int | None = None,
     ) -> float:
         """Multiplier (>= 1) on the memory time caused by LLC pollution."""
         if not co_runners:
             return 1.0
-        pressure = max(self.cache_pressure(other) for other in co_runners)
+        pressure = max(
+            self.cache_pressure(other, pool_mem_slices) for other in co_runners
+        )
         return 1.0 + self._params.memory_l2_alpha * kernel.l2_sensitivity * pressure
 
     # ------------------------------------------------------------------

@@ -142,3 +142,45 @@ def iter_group_kernels(
     """Yield each group together with its resolved kernel models."""
     for group in groups:
         yield group, group.kernels(suite)
+
+
+#: Class combinations of the synthetic mixed-state calibration groups.
+#: Memory-intensive members are over-represented on purpose: sub-chip
+#: shared GIs are where bandwidth contention bites hardest, and the
+#: named triples alone leave that corner of the feature space sparse.
+_SYNTHETIC_GROUP_CLASSES: tuple[tuple[WorkloadClass, ...], ...] = (
+    (WorkloadClass.MI, WorkloadClass.MI, WorkloadClass.US),
+    (WorkloadClass.MI, WorkloadClass.MI, WorkloadClass.CI),
+    (WorkloadClass.MI, WorkloadClass.CI, WorkloadClass.TI),
+    (WorkloadClass.MI, WorkloadClass.US, WorkloadClass.US),
+    (WorkloadClass.CI, WorkloadClass.CI, WorkloadClass.MI),
+    (WorkloadClass.MI, WorkloadClass.MI, WorkloadClass.MI),
+    (WorkloadClass.US, WorkloadClass.CI, WorkloadClass.MI),
+    (WorkloadClass.TI, WorkloadClass.MI, WorkloadClass.MI),
+    (WorkloadClass.CI, WorkloadClass.US, WorkloadClass.TI),
+    (WorkloadClass.MI, WorkloadClass.TI, WorkloadClass.US),
+    (WorkloadClass.CI, WorkloadClass.MI, WorkloadClass.US),
+    (WorkloadClass.TI, WorkloadClass.CI, WorkloadClass.CI),
+)
+
+
+def synthetic_training_groups(
+    group_size: int = 3, seed: int = 2022
+) -> tuple[tuple[KernelCharacteristics, ...], ...]:
+    """Deterministic synthetic kernel groups for the mixed-state sweep.
+
+    The named triples cover only six benchmark-per-slot combinations,
+    which is too sparse to calibrate the sub-chip shared GI keys across
+    the victim × co-runner feature plane; these synthetic groups densify
+    it (the simulator makes extra calibration workloads free).  Kernels
+    are drawn class-first from :class:`SyntheticWorkloadGenerator`, so the
+    sweep stays disjoint from the evaluation benchmarks.
+    """
+    from repro.workloads.synthetic import SyntheticWorkloadGenerator
+
+    generator = SyntheticWorkloadGenerator(seed)
+    groups = []
+    for classes in _SYNTHETIC_GROUP_CLASSES:
+        cycled = tuple(classes[i % len(classes)] for i in range(group_size))
+        groups.append(tuple(generator.sample_class(c) for c in cycled))
+    return tuple(groups)

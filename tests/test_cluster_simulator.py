@@ -170,7 +170,12 @@ class TestRepartitionLatency:
             config=SimulationConfig(repartition_latency_s=5.0),
         ).run(trace)
         assert priced.repartitions > 0
-        assert priced.repartition_time_s == pytest.approx(priced.repartitions * 5.0)
+        # The latency scales with the GPU Instances created/destroyed, not
+        # with a flat per-change constant.
+        assert priced.mig_instance_changes >= priced.repartitions
+        assert priced.repartition_time_s == pytest.approx(
+            priced.mig_instance_changes * 5.0
+        )
         assert priced.makespan_s > free.makespan_s
 
     def test_stable_layout_pays_once_per_node(self, workflow):
@@ -185,6 +190,24 @@ class TestRepartitionLatency:
             config=SimulationConfig(repartition_latency_s=1.0),
         ).run(trace)
         assert report.repartitions == 2
+
+    def test_same_gi_multiset_reconfigures_for_free(self, workflow):
+        """S1 -> S2 only re-binds jobs onto the existing full-chip GI, so
+        no repartition latency is charged and jobs on untouched instances
+        effectively keep running."""
+        from repro.cluster.events.simulator import ClusterSimulator as CS
+
+        assert CS._instance_changes((7,), (7,)) == 0
+        # Multiset diff: {3,4} -> {4,3} is free, {3,4} -> {2,2,3} swaps one
+        # 4-GPC GI for two 2-GPC GIs (3 changes).
+        assert CS._instance_changes((3, 4), (4, 3)) == 0
+        assert CS._instance_changes((3, 4), (2, 2, 3)) == 3
+        # Toggling MIG mode on/off costs one unit on top of the GI diff.
+        assert CS._instance_changes((), (3, 4)) == 3
+        assert CS._instance_changes((3, 4), ()) == 3
+        # A node's first dispatch charges the full bring-up.
+        assert CS._instance_changes(None, (3, 4)) == 2
+        assert CS._instance_changes(None, ()) == 1
 
 
 class TestPowerBudget:

@@ -21,28 +21,59 @@ def profiles():
     }
 
 
-def key(gpcs=4, option=MemoryOption.SHARED, power=250.0) -> HardwareStateKey:
-    return HardwareStateKey(gpcs, option, power)
+def key(gpcs=4, mem_slices=8, option=MemoryOption.SHARED, power=250.0) -> HardwareStateKey:
+    return HardwareStateKey(gpcs, mem_slices, option, power)
 
 
 class TestHardwareStateKey:
     def test_from_state_extracts_per_app_view(self):
-        key0 = HardwareStateKey.from_state(S1, 0, 230)
-        key1 = HardwareStateKey.from_state(S1, 1, 230)
+        from repro.gpu.spec import A100_SPEC
+
+        key0 = HardwareStateKey.from_state(S1, 0, 230, A100_SPEC)
+        key1 = HardwareStateKey.from_state(S1, 1, 230, A100_SPEC)
         assert key0.gpcs == 4 and key1.gpcs == 3
         assert key0.option is MemoryOption.SHARED
         assert key0.power_cap_w == 230.0
+        # The shared option grants the full chip's memory slices.
+        assert key0.mem_slices == 8 and key1.mem_slices == 8
+
+    def test_from_state_private_uses_profile_table_slices(self):
+        from repro.gpu.mig import S3
+        from repro.gpu.spec import A100_SPEC
+
+        key0 = HardwareStateKey.from_state(S3, 0, 230, A100_SPEC)
+        key1 = HardwareStateKey.from_state(S3, 1, 230, A100_SPEC)
+        # 4-GPC and 3-GPC private GIs both own 4 slices on the A100.
+        assert key0.mem_slices == 4 and key1.mem_slices == 4
+
+    def test_from_state_mixed_uses_hosting_gi_slices(self):
+        from repro.gpu.mig import PartitionState
+        from repro.gpu.spec import A100_SPEC
+
+        state = PartitionState((2, 2, 3), MemoryOption.MIXED, gi_groups=(0, 0, 1))
+        shared0 = HardwareStateKey.from_state(state, 0, 230, A100_SPEC)
+        private2 = HardwareStateKey.from_state(state, 2, 230, A100_SPEC)
+        # Apps 0 and 1 share a 4-GPC GI (4 slices), app 2 owns a 3-GPC GI.
+        assert shared0.option is MemoryOption.SHARED
+        assert shared0.mem_slices == 4
+        assert private2.option is MemoryOption.PRIVATE
+        assert private2.mem_slices == 4
 
     def test_keys_are_hashable_and_comparable(self):
         assert key() == key()
         assert key() != key(gpcs=3)
-        assert len({key(), key(), key(gpcs=3)}) == 2
+        assert key() != key(mem_slices=4)
+        assert len({key(), key(), key(gpcs=3), key(mem_slices=4)}) == 3
 
     def test_accepts_string_option(self):
-        assert HardwareStateKey(4, "private", 200).option is MemoryOption.PRIVATE
+        assert HardwareStateKey(4, 4, "private", 200).option is MemoryOption.PRIVATE
+
+    def test_rejects_non_positive_mem_slices(self):
+        with pytest.raises(ModelError):
+            HardwareStateKey(4, 0, MemoryOption.SHARED, 250.0)
 
     def test_describe(self):
-        assert key().describe() == "4GPCs/shared/250W"
+        assert key().describe() == "4GPCs/8sl/shared/250W"
 
 
 class TestRequiredStateKeys:

@@ -9,10 +9,11 @@ import pytest
 from repro.core.modelstore import (
     ModelFingerprint,
     STORE_FORMAT,
+    STORE_VERSION,
     load_model,
     save_model,
 )
-from repro.errors import ModelError
+from repro.errors import ModelCacheError, ModelError
 from repro.gpu.spec import A100_SPEC
 
 
@@ -97,6 +98,42 @@ class TestValidation:
     def test_document_carries_format_tag(self, model, fingerprint, tmp_path):
         path = save_model(model, tmp_path / "model.json", fingerprint)
         assert json.loads(path.read_text())["format"] == STORE_FORMAT
+
+
+class TestKeySchemaVersioning:
+    """Pair-era caches (key schema v1) must be rejected with a retrain hint."""
+
+    def test_store_version_bumped_for_gi_size_keys(self, model, fingerprint, tmp_path):
+        path = save_model(model, tmp_path / "model.json", fingerprint)
+        document = json.loads(path.read_text())
+        assert document["version"] == STORE_VERSION == 2
+        assert document["key_schema"] == 2
+
+    def test_pair_era_cache_rejected_with_retrain_hint(self, model, fingerprint, tmp_path):
+        path = save_model(model, tmp_path / "model.json", fingerprint)
+        document = json.loads(path.read_text())
+        document["version"] = 1
+        document.pop("key_schema")
+        path.write_text(json.dumps(document))
+        with pytest.raises(ModelCacheError, match="retrain"):
+            load_model(path)
+
+    def test_key_schema_mismatch_rejected(self, model, fingerprint, tmp_path):
+        path = save_model(model, tmp_path / "model.json", fingerprint)
+        document = json.loads(path.read_text())
+        document["key_schema"] = 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(ModelCacheError, match="memory-slice"):
+            load_model(path, expected=fingerprint)
+
+    def test_model_cache_error_is_a_model_error(self):
+        assert issubclass(ModelCacheError, ModelError)
+
+    def test_fingerprint_mismatches_raise_model_cache_error(self, model, fingerprint, tmp_path):
+        path = save_model(model, tmp_path / "model.json", fingerprint)
+        other = ModelFingerprint(spec_name="Simulated-H100-80GB", power_caps=(230.0, 250.0))
+        with pytest.raises(ModelCacheError):
+            load_model(path, expected=other)
 
 
 class TestWorkflowIntegration:

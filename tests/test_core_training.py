@@ -20,7 +20,7 @@ from repro.workloads.pairs import corun_pair
 from repro.workloads.suite import DEFAULT_SUITE
 
 
-def solo_measurement(name, rperf, gpcs=4, option=MemoryOption.SHARED, power=250.0):
+def solo_measurement(name, rperf, gpcs=4, option=MemoryOption.SHARED, power=250.0, mem_slices=8):
     return SoloMeasurement(
         kernel_name=name,
         counters=collect_counters(DEFAULT_SUITE.get(name)),
@@ -28,13 +28,14 @@ def solo_measurement(name, rperf, gpcs=4, option=MemoryOption.SHARED, power=250.
         option=option,
         power_cap_w=power,
         relative_performance=rperf,
+        mem_slices=mem_slices,
     )
 
 
 class TestMeasurementRecords:
     def test_solo_measurement_key(self):
         measurement = solo_measurement("dgemm", 0.5)
-        assert measurement.key == HardwareStateKey(4, MemoryOption.SHARED, 250.0)
+        assert measurement.key == HardwareStateKey(4, 8, MemoryOption.SHARED, 250.0)
 
     def test_corun_measurement_validates_lengths(self):
         counters = collect_counters(DEFAULT_SUITE.get("dgemm"))
@@ -91,7 +92,7 @@ class TestTrainer:
             sim, kernels, gpc_counts=(4,), options=(MemoryOption.SHARED,), power_caps=(250.0,)
         )
         model = ModelTrainer().fit_scalability(measurements)
-        key = HardwareStateKey(4, MemoryOption.SHARED, 250.0)
+        key = HardwareStateKey(4, 8, MemoryOption.SHARED, 250.0)
         errors = [
             abs(model.predict_solo(m.counters, key) - m.relative_performance)
             for m in measurements
@@ -141,10 +142,14 @@ class TestTrainer:
         full = ModelTrainer().train(solo, corun)
 
         def corun_error(model, use_interference):
+            from repro.gpu.spec import A100_SPEC
+
             errors = []
             for measurement in corun:
                 for index in range(2):
-                    key = HardwareStateKey.from_state(measurement.state, index, measurement.power_cap_w)
+                    key = HardwareStateKey.from_state(
+                        measurement.state, index, measurement.power_cap_w, A100_SPEC
+                    )
                     others = [measurement.counters[1 - index]] if use_interference else []
                     predicted = model.predict_rperf(measurement.counters[index], key, others)
                     errors.append(abs(predicted - measurement.relative_performances[index]))

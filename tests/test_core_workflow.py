@@ -70,7 +70,7 @@ class TestOfflineTrainer:
         )
         kernels = [DEFAULT_SUITE.get(n) for n in ("dgemm", "stream", "hgemm", "kmeans", "srad")]
         model = trainer.run(training_kernels=kernels, training_pairs=[corun_pair("TI-MI2")])
-        key = HardwareStateKey(4, MemoryOption.SHARED, 250.0)
+        key = HardwareStateKey(4, 8, MemoryOption.SHARED, 250.0)
         assert model.has_scalability(key)
 
 

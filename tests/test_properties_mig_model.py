@@ -128,7 +128,7 @@ counter_vectors = st.builds(
 @settings(max_examples=60)
 def test_model_predictions_are_non_negative_and_deterministic(counters, coefficients):
     model = LinearPerfModel()
-    key = HardwareStateKey(4, MemoryOption.SHARED, 250.0)
+    key = HardwareStateKey(4, 8, MemoryOption.SHARED, 250.0)
     model.set_scalability_coefficients(key, np.array(coefficients))
     first = model.predict_solo(counters, key)
     second = model.predict_solo(counters, key)
@@ -140,7 +140,7 @@ def test_model_predictions_are_non_negative_and_deterministic(counters, coeffici
 @settings(max_examples=40)
 def test_model_serialization_roundtrip_preserves_predictions(counters):
     model = LinearPerfModel()
-    key = HardwareStateKey(3, MemoryOption.PRIVATE, 190.0)
+    key = HardwareStateKey(3, 4, MemoryOption.PRIVATE, 190.0)
     rng = np.random.default_rng(0)
     model.set_scalability_coefficients(key, rng.normal(size=6))
     model.set_interference_coefficients(key, rng.normal(size=3))
