@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Emit the per-GI-size model-error summary on a smoke grid (CI guard).
+
+Trains the spec-derived A100 workflow on a two-cap smoke grid, evaluates
+:func:`repro.analysis.errors.model_error_by_gi_size` over the named
+training-suite triples on every mixed three-application layout, and
+
+* prints the summary as a Markdown table (also appended to
+  ``$GITHUB_STEP_SUMMARY`` when set, so it shows on the workflow run page);
+* writes ``mean_error_pct_<N>slice`` / ``max_error_pct_<N>slice`` values to
+  ``$GITHUB_OUTPUT`` when set, so accuracy drift is visible as step outputs
+  per PR.
+
+Exits non-zero when the 2-slice bucket exceeds the acceptance bound or the
+4-slice bucket regresses past the seed, mirroring the tier-1 bound test.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+# Allow running without an installed distribution (PYTHONPATH-less CI
+# steps and local `python scripts/...` invocations).
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.errors import (  # noqa: E402
+    FOUR_SLICE_MEAN_ERROR_BOUND_PCT,
+    FULL_CHIP_MEAN_ERROR_BOUND_PCT,
+    TWO_SLICE_MEAN_ERROR_BOUND_PCT,
+    model_error_by_gi_size,
+)
+from repro.core.workflow import PaperWorkflow, TrainingPlan  # noqa: E402
+from repro.gpu.spec import A100_SPEC  # noqa: E402
+from repro.sim.engine import PerformanceSimulator  # noqa: E402
+from repro.sim.noise import no_noise  # noqa: E402
+
+#: Smoke-grid power caps (subset of the spec-derived grid; keeps the
+#: training sweep to a couple of seconds).
+SMOKE_CAPS = (190.0, 230.0)
+
+
+def main() -> int:
+    workflow = PaperWorkflow(
+        simulator=PerformanceSimulator(noise=no_noise()),
+        plan=TrainingPlan.for_spec(A100_SPEC, power_caps=SMOKE_CAPS),
+        power_caps=SMOKE_CAPS,
+    )
+    workflow.train()
+    summaries = model_error_by_gi_size(
+        workflow.model, workflow.simulator, SMOKE_CAPS
+    )
+
+    lines = [
+        "### Per-GI-size model error (smoke grid)",
+        "",
+        "| GI memory slices | samples | mean RPerf error | max RPerf error |",
+        "| ---: | ---: | ---: | ---: |",
+    ]
+    for summary in summaries:
+        lines.append(
+            f"| {summary.mem_slices} | {summary.n_samples} "
+            f"| {summary.mean_error_pct:.1f}% | {summary.max_error_pct:.1f}% |"
+        )
+    table = "\n".join(lines)
+    print(table)
+
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a") as handle:
+            handle.write(table + "\n")
+    github_output = os.environ.get("GITHUB_OUTPUT")
+    if github_output:
+        with open(github_output, "a") as handle:
+            for summary in summaries:
+                handle.write(
+                    f"mean_error_pct_{summary.mem_slices}slice="
+                    f"{summary.mean_error_pct:.2f}\n"
+                    f"max_error_pct_{summary.mem_slices}slice="
+                    f"{summary.max_error_pct:.2f}\n"
+                )
+
+    by_slices = {summary.mem_slices: summary for summary in summaries}
+    failures = []
+    two = by_slices.get(2)
+    if two is not None and two.mean_error_pct > TWO_SLICE_MEAN_ERROR_BOUND_PCT:
+        failures.append(
+            f"2-slice mean error {two.mean_error_pct:.1f}% exceeds the "
+            f"{TWO_SLICE_MEAN_ERROR_BOUND_PCT}% bound"
+        )
+    four = by_slices.get(4)
+    if four is not None and four.mean_error_pct > FOUR_SLICE_MEAN_ERROR_BOUND_PCT:
+        failures.append(
+            f"4-slice mean error {four.mean_error_pct:.1f}% regressed past "
+            f"the seed's {FOUR_SLICE_MEAN_ERROR_BOUND_PCT}%"
+        )
+    full_chip = by_slices.get(A100_SPEC.n_mem_slices)
+    if (
+        full_chip is not None
+        and full_chip.mean_error_pct > FULL_CHIP_MEAN_ERROR_BOUND_PCT
+    ):
+        failures.append(
+            f"full-chip shared mean error {full_chip.mean_error_pct:.1f}% "
+            f"regressed past the pair-era {FULL_CHIP_MEAN_ERROR_BOUND_PCT}% level"
+        )
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,12 @@ so that the (comparatively expensive) offline training is shared.
 """
 
 from repro.analysis.context import EvaluationContext
-from repro.analysis.errors import ModelErrorSummary, model_error_summary
+from repro.analysis.errors import (
+    GISizeErrorSummary,
+    ModelErrorSummary,
+    model_error_by_gi_size,
+    model_error_summary,
+)
 from repro.analysis.figures import (
     figure4_scalability_partitioning,
     figure5_scalability_power,
@@ -37,7 +42,9 @@ from repro.analysis.tables import (
 
 __all__ = [
     "EvaluationContext",
+    "GISizeErrorSummary",
     "ModelErrorSummary",
+    "model_error_by_gi_size",
     "model_error_summary",
     "figure4_scalability_partitioning",
     "figure5_scalability_power",

@@ -24,6 +24,34 @@ it first converts them with two hand-designed basis functions:
   J3    ``1``           constant
   ====  ==============  =======================
 
+* Under *sub-chip shared* hardware-state keys (a Compute Instance inside a
+  shared GPU Instance smaller than the chip — mixed layouts only) the
+  interference basis is augmented with capacity-aware *pool terms*
+  (key schema v3).  ``q`` is the pool fraction, i.e. the hosting GI's
+  memory slices over the chip's, and ``Ĵ1`` the clamped DRAM demand
+  :func:`dram_demand` (``d = Ĵ1(F_i) + Σ_j Ĵ1(F_j)`` the combined demand):
+
+  ======  ========================================  =========================
+  σ·H     ``min(1, q/d) · H(F_i)``                  the victim's scalability
+                                                    basis scaled by the pool's
+                                                    *servable fraction* of the
+                                                    combined DRAM demand
+  P1      ``min(1, Σ_j Ĵ1(F_j) / q)``               saturating co-runner DRAM
+                                                    demand relative to the pool
+  P2      ``max(0, d − q)``                         piecewise excess demand
+                                                    once the pool's
+                                                    proportional bandwidth is
+                                                    oversubscribed
+  ======  ========================================  =========================
+
+  A linear-in-``J`` interference term cannot bend where a quarter-capacity
+  pool clips (the 1-GPC/2-slice GI saturates long before the co-runner's
+  raw DRAM counter does); the saturating servable fraction ``σ``
+  (:func:`servable_fraction`), the saturating ``P1``, and the hinge ``P2``
+  give the fitted coefficients exactly that bend.  Full-chip shared and
+  private keys never see these terms, keeping the pair-era model
+  bit-identical.
+
 The paper notes that the manual choice of counters and basis functions is a
 limitation; :data:`RAW_COUNTER_BASIS` exists so that the ablation benchmark
 can quantify what the hand-designed basis buys over regressing on raw
@@ -55,6 +83,83 @@ J_LABELS: tuple[str, ...] = (
     "J2 access pattern (L2 hit rate)",
     "J3 constant",
 )
+
+#: Labels of the capacity-aware pool terms appended to the interference
+#: basis under sub-chip shared keys (key schema v3), for reports.
+POOL_TERM_LABELS: tuple[str, ...] = (
+    "P1 saturating co-runner DRAM demand",
+    "P2 excess combined DRAM demand",
+)
+
+#: Number of pool terms appended to ``J`` under sub-chip shared keys.
+POOL_TERM_DIM: int = len(POOL_TERM_LABELS)
+
+
+def dram_demand(counters: CounterVector) -> float:
+    """The clamped DRAM demand of one application: ``F3/100`` in ``[0, 1]``.
+
+    This is the ``J1`` feature read straight from the counters (so a custom
+    basis cannot invert the physics) and clamped, because a counter reading
+    above 100 % — out-of-spec, but possible from a raw telemetry feed —
+    must not silently amplify the interference term.
+    """
+    return min(1.0, max(0.0, counters.dram_throughput / 100.0))
+
+
+def servable_fraction(
+    victim_demand: float,
+    co_runner_demand: float,
+    pool_fraction: float,
+) -> float:
+    """``σ = min(1, q / d)``: what share of the combined DRAM demand fits.
+
+    ``d`` is the victim's plus the co-runners' clamped DRAM demand and
+    ``q`` the pool fraction.  Below saturation the pool serves everything
+    (``σ = 1``, and the basis degenerates to a plain second copy of ``H``
+    that the fit can fold into ``C``); past it the victim's achievable
+    bandwidth — and with it the memory-bound part of its performance —
+    scales down like ``q/d`` under the proportional HBM arbitration the
+    shared pool applies.  Scaling the victim's own ``H(F)`` block by this
+    fraction is what lets a per-key linear fit reproduce the reciprocal
+    roll-off of a clipped pool.
+    """
+    if not (0.0 < pool_fraction <= 1.0):
+        raise ValueError(f"pool_fraction must be in (0, 1], got {pool_fraction}")
+    return min(1.0, pool_fraction / max(victim_demand + co_runner_demand, 1e-6))
+
+
+def pool_saturation_terms(
+    victim_demand: float,
+    co_runner_demand: float,
+    pool_fraction: float,
+) -> np.ndarray:
+    """The capacity-aware pool terms ``P(F)`` (length :data:`POOL_TERM_DIM`).
+
+    Parameters
+    ----------
+    victim_demand:
+        Clamped DRAM demand of the application being predicted
+        (:func:`dram_demand` of its own counters).
+    co_runner_demand:
+        Summed clamped DRAM demand of the co-runners sharing its GPU
+        Instance.
+    pool_fraction:
+        The hosting GI's memory slices as a fraction of the chip's
+        (``mem_slices / n_mem_slices``), i.e. the pool's proportional
+        share of LLC capacity and DRAM bandwidth.
+
+    ``P1`` saturates at 1 once the co-runners alone can fill the pool;
+    ``P2`` is a hinge that activates only when the *combined* demand
+    exceeds the pool's proportional bandwidth — the regime where the
+    2-slice pool clips and a linear-in-``J`` fit underfits.
+    """
+    if not (0.0 < pool_fraction <= 1.0):
+        raise ValueError(
+            f"pool_fraction must be in (0, 1], got {pool_fraction}"
+        )
+    saturating = min(1.0, co_runner_demand / pool_fraction)
+    excess = max(0.0, victim_demand + co_runner_demand - pool_fraction)
+    return np.array([saturating, excess], dtype=float)
 
 
 def basis_h(counters: CounterVector) -> np.ndarray:

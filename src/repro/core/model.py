@@ -27,15 +27,25 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.errors import ModelError, NotFittedError
-from repro.core.features import DEFAULT_BASIS, BasisFunctions
+from repro.core.features import (
+    DEFAULT_BASIS,
+    POOL_TERM_DIM,
+    BasisFunctions,
+    dram_demand,
+    pool_saturation_terms,
+    servable_fraction,
+)
 from repro.gpu.mig import MemoryOption, PartitionState
 from repro.gpu.spec import A100_SPEC, GPUSpec, builtin_spec_named
 from repro.sim.counters import CounterVector
 
 #: Version of the hardware-state key schema.  Version 1 keyed coefficients
 #: on (gpcs, option, cap); version 2 added the GPU Instance's memory-slice
-#: count so sub-chip shared GIs stop borrowing full-chip coefficients.
-KEY_SCHEMA_VERSION = 2
+#: count so sub-chip shared GIs stop borrowing full-chip coefficients;
+#: version 3 appended the capacity-aware pool terms (saturating co-runner
+#: demand, excess combined demand) to the interference basis of sub-chip
+#: shared keys, so the fitted coefficients can bend where a tiny pool clips.
+KEY_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -133,9 +143,14 @@ class LinearPerfModel:
         self._gather_cache: dict[
             tuple,
             tuple[
-                np.ndarray, np.ndarray | None, np.ndarray | None, np.ndarray | None
+                np.ndarray,
+                np.ndarray | None,
+                np.ndarray | None,
+                np.ndarray | None,
+                np.ndarray | None,
             ],
         ] = {}
+        self._gather_builds = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -159,6 +174,15 @@ class LinearPerfModel:
         this so refitting invalidates them.
         """
         return self._coefficients_version
+
+    @property
+    def gather_cache_builds(self) -> int:
+        """How many candidate-grid coefficient gathers were actually built.
+
+        A scheduling loop that re-solves the same grids should see this
+        stay constant after warm-up; it only grows on memo misses.
+        """
+        return self._gather_builds
 
     def fitted_scalability_states(self) -> tuple[HardwareStateKey, ...]:
         """Hardware states with a fitted scalability term."""
@@ -208,12 +232,18 @@ class LinearPerfModel:
     def set_interference_coefficients(
         self, key: HardwareStateKey, coefficients: np.ndarray
     ) -> None:
-        """Install the ``D`` vector for one hardware state."""
+        """Install the ``D`` vector for one hardware state.
+
+        Sub-chip shared keys carry :data:`~repro.core.features.POOL_TERM_DIM`
+        extra coefficients for the capacity-aware pool terms (key schema
+        v3); every other key keeps the plain ``J`` dimensionality.
+        """
         coefficients = np.asarray(coefficients, dtype=float)
-        if coefficients.shape != (self._basis.j_dim,):
+        expected = self.interference_dim(key)
+        if coefficients.shape != (expected,):
             raise ModelError(
                 f"interference coefficients for {key.describe()} must have shape "
-                f"({self._basis.j_dim},), got {coefficients.shape}"
+                f"({expected},), got {coefficients.shape}"
             )
         self._interference[key] = coefficients.copy()
         self._coefficients_version += 1
@@ -238,6 +268,23 @@ class LinearPerfModel:
             and key.mem_slices < self._spec.n_mem_slices
         )
 
+    def interference_dim(self, key: HardwareStateKey) -> int:
+        """Length of the ``D`` vector for ``key``.
+
+        Sub-chip shared keys (mixed layouts) append the capacity-aware
+        terms to the ``J`` basis — the servable-fraction-scaled copy of
+        the victim's ``H`` block and the two pool terms, in that order —
+        while full-chip shared and private keys keep the paper's plain
+        ``J`` dimensionality.
+        """
+        if self.is_sub_chip_shared(key):
+            return self._basis.j_dim + self._basis.h_dim + POOL_TERM_DIM
+        return self._basis.j_dim
+
+    def pool_fraction(self, key: HardwareStateKey) -> float:
+        """The hosting GI's memory slices as a fraction of the chip's."""
+        return key.mem_slices / self._spec.n_mem_slices
+
     def interference_scale(
         self, key: HardwareStateKey, counters: CounterVector
     ) -> float:
@@ -252,12 +299,14 @@ class LinearPerfModel:
         the term is scaled by the victim's DRAM-intensity counter (the F3
         fraction — the ``J1`` feature of the Table 4 basis, but read from
         the counters directly so a custom basis cannot silently invert the
-        physics).  The trainer applies the same scale when fitting, keeping
-        fit and prediction consistent.
+        physics), clamped into ``[0, 1]`` so an out-of-spec counter reading
+        above 100 % cannot silently amplify the interference term.  The
+        trainer applies the same scale when fitting, keeping fit and
+        prediction consistent.
         """
         if not self.is_sub_chip_shared(key):
             return 1.0
-        return counters.dram_throughput / 100.0
+        return dram_demand(counters)
 
     def predict_rperf(
         self,
@@ -270,6 +319,13 @@ class LinearPerfModel:
         ``co_counters`` are the profiled counter vectors of the other
         applications sharing the GPU; when it is empty the interference term
         is skipped (solo prediction).
+
+        Under a sub-chip shared key the additive per-co-runner ``J`` terms
+        are followed by the capacity-aware basis terms (key schema v3):
+        the victim's ``H`` block scaled by the pool's servable fraction of
+        the combined DRAM demand, then the saturating/excess pool terms,
+        each evaluated once for the whole co-runner group.  Full-chip
+        shared and private keys evaluate exactly the pair-era expression.
         """
         self._require_scalability(key)
         value = float(self._scalability[key] @ self._basis.h(counters))
@@ -279,9 +335,27 @@ class LinearPerfModel:
                     f"no interference coefficients fitted for state {key.describe()}"
                 )
             d = self._interference[key]
+            j_dim = self._basis.j_dim
             scale = self.interference_scale(key, counters)
             for other in co_counters:
-                value += scale * float(d @ self._basis.j(other))
+                value += scale * float(d[:j_dim] @ self._basis.j(other))
+            if self.is_sub_chip_shared(key):
+                h_dim = self._basis.h_dim
+                co_runner_demand = 0.0
+                for other in co_counters:
+                    co_runner_demand += dram_demand(other)
+                victim_demand = dram_demand(counters)
+                pool_fraction = self.pool_fraction(key)
+                servable = servable_fraction(
+                    victim_demand, co_runner_demand, pool_fraction
+                )
+                value += servable * float(
+                    d[j_dim : j_dim + h_dim] @ self._basis.h(counters)
+                )
+                terms = pool_saturation_terms(
+                    victim_demand, co_runner_demand, pool_fraction
+                )
+                value += float(d[j_dim + h_dim :] @ terms)
         return max(0.0, value)
 
     def predict_corun(
@@ -323,32 +397,68 @@ class LinearPerfModel:
         if n_apps == 0:
             raise ModelError("predict_candidates needs at least one application")
         n_candidates = len(candidates)
+        j_dim = self._basis.j_dim
         h_vecs = [self._basis.h(c) for c in counters_list]
         j_vecs = [self._basis.j(c) for c in counters_list]
-        scalability, interference, partner_mask, sub_chip = self._gather_coefficients(
-            candidates, n_apps
-        )
+        demands = [dram_demand(c) for c in counters_list]
+        (
+            scalability,
+            interference,
+            partner_mask,
+            sub_chip,
+            pool_fractions,
+        ) = self._gather_coefficients(candidates, n_apps)
         predictions = np.empty((n_candidates, n_apps), dtype=float)
         for i in range(n_apps):
             # Accumulate in the same order as the scalar path (own term,
-            # then each interference partner in index order) so both paths
-            # agree; the mask zeroes non-partners (other GIs of a mixed
-            # state) per candidate.
+            # each interference partner in index order, then the pool
+            # terms) so both paths agree; the mask zeroes non-partners
+            # (other GIs of a mixed state) per candidate.
             acc = scalability[:, i, :] @ h_vecs[i]
             if interference is not None:
                 # Per-candidate victim scale: 1.0 under full-chip keys
                 # (exact, preserving pair-era bit-parity), the victim's
-                # DRAM intensity under sub-chip shared keys — mirroring
-                # :meth:`interference_scale` on the scalar path.
+                # clamped DRAM demand under sub-chip shared keys —
+                # mirroring :meth:`interference_scale` on the scalar path.
                 assert sub_chip is not None and partner_mask is not None
-                victim_dram = counters_list[i].dram_throughput / 100.0
-                scale = 1.0 + sub_chip[:, i] * (victim_dram - 1.0)
+                assert pool_fractions is not None
+                scale = 1.0 + sub_chip[:, i] * (demands[i] - 1.0)
+                co_runner_demand = np.zeros(n_candidates, dtype=float)
                 for k in range(n_apps):
                     if k == i:
                         continue
                     acc = acc + partner_mask[:, i, k] * (
-                        scale * (interference[:, i, :] @ j_vecs[k])
+                        scale * (interference[:, i, :j_dim] @ j_vecs[k])
                     )
+                    co_runner_demand = (
+                        co_runner_demand + partner_mask[:, i, k] * demands[k]
+                    )
+                # Capacity-aware basis terms: skipped outright when no
+                # candidate gives this application a sub-chip key (their
+                # contribution is exactly 0.0, so the pair-era full-chip
+                # hot path stays bit-identical and untaxed); elsewhere the
+                # sub-chip mask zeroes the full-chip rows and the gathered
+                # pool fraction is 1.0 there so the divisions stay
+                # well-defined.  Mirrors the scalar path: servable-scaled
+                # H block, then the pool terms.
+                if sub_chip[:, i].any():
+                    h_dim = self._basis.h_dim
+                    combined = demands[i] + co_runner_demand
+                    servable = np.minimum(
+                        1.0, pool_fractions[:, i] / np.maximum(combined, 1e-6)
+                    )
+                    scaled_h = servable * (
+                        interference[:, i, j_dim : j_dim + h_dim] @ h_vecs[i]
+                    )
+                    saturating = np.minimum(
+                        1.0, co_runner_demand / pool_fractions[:, i]
+                    )
+                    excess = np.maximum(0.0, combined - pool_fractions[:, i])
+                    pool_value = (
+                        interference[:, i, j_dim + h_dim] * saturating
+                        + interference[:, i, j_dim + h_dim + 1] * excess
+                    )
+                    acc = acc + sub_chip[:, i] * (scaled_h + pool_value)
             predictions[:, i] = np.maximum(0.0, acc)
         return predictions
 
@@ -357,7 +467,11 @@ class LinearPerfModel:
         candidates: Sequence[tuple[PartitionState, float]],
         n_apps: int,
     ) -> tuple[
-        np.ndarray, np.ndarray | None, np.ndarray | None, np.ndarray | None
+        np.ndarray,
+        np.ndarray | None,
+        np.ndarray | None,
+        np.ndarray | None,
+        np.ndarray | None,
     ]:
         """Coefficient tensors and partner mask for a grid, memoized per grid.
 
@@ -365,7 +479,14 @@ class LinearPerfModel:
         not on the profiles being predicted — so scheduling loops that
         re-solve the same grid for different application groups skip the
         per-candidate dictionary lookups entirely.  The memo is invalidated
-        whenever a coefficient vector is (re)installed.
+        whenever a coefficient vector is (re)installed, and evicts the
+        least-recently-used grid when full, so a loop alternating a few hot
+        grids never rebuilds them.
+
+        The interference tensor is padded to ``j_dim + h_dim +
+        POOL_TERM_DIM`` columns; full-chip keys leave the capacity-aware
+        columns zero (and their pool fraction 1.0, keeping the batched
+        divisions well-defined).
         """
         cache_key = (
             self._coefficients_version,
@@ -374,11 +495,22 @@ class LinearPerfModel:
         )
         cached = self._gather_cache.get(cache_key)
         if cached is not None:
+            # Refresh recency (dicts preserve insertion order) so the
+            # eviction below drops stale grids, never the hot ones.
+            self._gather_cache.pop(cache_key)
+            self._gather_cache[cache_key] = cached
             return cached
         n_candidates = len(candidates)
         scalability = np.empty((n_candidates, n_apps, self._basis.h_dim), dtype=float)
         interference = (
-            np.empty((n_candidates, n_apps, self._basis.j_dim), dtype=float)
+            np.zeros(
+                (
+                    n_candidates,
+                    n_apps,
+                    self._basis.j_dim + self._basis.h_dim + POOL_TERM_DIM,
+                ),
+                dtype=float,
+            )
             if n_apps > 1
             else None
         )
@@ -389,6 +521,9 @@ class LinearPerfModel:
         )
         sub_chip = (
             np.zeros((n_candidates, n_apps), dtype=float) if n_apps > 1 else None
+        )
+        pool_fractions = (
+            np.ones((n_candidates, n_apps), dtype=float) if n_apps > 1 else None
         )
         for ci, (state, power_cap_w) in enumerate(candidates):
             if state.n_apps != n_apps:
@@ -405,19 +540,24 @@ class LinearPerfModel:
                         raise NotFittedError(
                             f"no interference coefficients fitted for state {key.describe()}"
                         )
-                    interference[ci, i] = self._interference[key]
+                    coefficients = self._interference[key]
+                    interference[ci, i, : coefficients.shape[0]] = coefficients
                     partner_mask[ci, i, list(state.interference_partners(i))] = 1.0
-                    if sub_chip is not None and self.is_sub_chip_shared(key):
+                    if self.is_sub_chip_shared(key):
+                        assert sub_chip is not None and pool_fractions is not None
                         sub_chip[ci, i] = 1.0
+                        pool_fractions[ci, i] = self.pool_fraction(key)
+        self._gather_builds += 1
         if len(self._gather_cache) >= self._GATHER_CACHE_SIZE:
-            self._gather_cache.clear()
+            self._gather_cache.pop(next(iter(self._gather_cache)))
         self._gather_cache[cache_key] = (
             scalability,
             interference,
             partner_mask,
             sub_chip,
+            pool_fractions,
         )
-        return scalability, interference, partner_mask, sub_chip
+        return scalability, interference, partner_mask, sub_chip, pool_fractions
 
     def supports_candidate(
         self,
@@ -488,9 +628,10 @@ class LinearPerfModel:
         if version != KEY_SCHEMA_VERSION:
             raise ModelError(
                 f"model document uses key schema v{version!r} but this build "
-                f"expects v{KEY_SCHEMA_VERSION} (hardware-state keys now "
-                f"include the GPU Instance's memory-slice count); retrain the "
-                f"model to regenerate its coefficients"
+                f"expects v{KEY_SCHEMA_VERSION} (v2 added the GPU Instance's "
+                f"memory-slice count to the keys, v3 the capacity-aware "
+                f"saturating interference basis of sub-chip shared keys); "
+                f"retrain the model to regenerate its coefficients"
             )
         if data.get("basis") != basis.name:
             raise ModelError(

@@ -28,9 +28,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle (workflow imports us)
 #: Format tag of the model-store document.
 STORE_FORMAT = "repro-model-store"
 #: Version written by :func:`save_model`.  Version 1 stored pair-era
-#: (gpcs, option, cap) keys; version 2 carries the GI-size-aware key
-#: schema (see :data:`repro.core.model.KEY_SCHEMA_VERSION`).
-STORE_VERSION = 2
+#: (gpcs, option, cap) keys; version 2 carried the GI-size-aware key
+#: schema; version 3 adds the capacity-aware saturating interference
+#: basis of sub-chip shared keys (see
+#: :data:`repro.core.model.KEY_SCHEMA_VERSION`).
+STORE_VERSION = 3
 
 
 def plan_digest(plan: "TrainingPlan") -> str:
@@ -89,8 +91,10 @@ class ModelFingerprint:
             raise ModelCacheError(
                 f"model cache {path} was written with model-key schema "
                 f"v{other.key_schema} but this build uses v{self.key_schema} "
-                f"(keys now include the GPU Instance's memory-slice count); "
-                f"delete the cache and retrain to regenerate it"
+                f"(v2 added the GPU Instance's memory-slice count to the "
+                f"keys, v3 the capacity-aware saturating interference basis "
+                f"of sub-chip shared keys); delete the cache and retrain to "
+                f"regenerate it"
             )
         if self.spec_name != other.spec_name:
             raise ModelCacheError(
@@ -166,6 +170,14 @@ def load_model(
             f"(store version 1, keys without memory-slice counts); delete the "
             f"cache and retrain — the CLI retrains and rewrites it "
             f"automatically when the file is absent"
+        )
+    if version == 2:
+        raise ModelCacheError(
+            f"model cache {path} predates the capacity-aware saturating "
+            f"interference basis (store version 2, key schema v2): its "
+            f"sub-chip shared coefficients have the wrong dimensionality "
+            f"for this build; delete the cache and retrain — the CLI "
+            f"retrains and rewrites it automatically when the file is absent"
         )
     if version != STORE_VERSION:
         raise ModelError(

@@ -32,7 +32,13 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.config import DEFAULT_POWER_CAPS, SCALABILITY_GPC_COUNTS
-from repro.core.features import DEFAULT_BASIS, BasisFunctions
+from repro.core.features import (
+    DEFAULT_BASIS,
+    BasisFunctions,
+    dram_demand,
+    pool_saturation_terms,
+    servable_fraction,
+)
 from repro.core.model import HardwareStateKey, LinearPerfModel
 from repro.errors import ModelError
 from repro.gpu.mig import CORUN_STATES, MemoryOption, PartitionState, solo_state
@@ -40,6 +46,11 @@ from repro.gpu.spec import A100_SPEC, GPUSpec
 from repro.sim.counters import CounterVector
 from repro.sim.engine import PerformanceSimulator
 from repro.workloads.kernel import KernelCharacteristics
+
+#: Floor on the RPerf value used for the relative weighting of the mixed
+#: fit; keeps a (theoretical) zero measurement from producing an infinite
+#: row weight.
+_RELATIVE_WEIGHT_FLOOR = 1e-3
 
 
 @dataclass(frozen=True)
@@ -244,15 +255,27 @@ class ModelTrainer:
         A Compute Instance inside a sub-chip shared GPU Instance reaches a
         hardware-state key no solo run can realize, so its scalability and
         interference coefficients are regressed together from mixed-state
-        co-run measurements: each row stacks ``[H(F_i) | s_i · Σ_j J(F_j)]``
+        co-run measurements: each row stacks
+        ``[H(F_i) | s_i · Σ_j J(F_j) | σ · H(F_i) | P(F_i, F_j, q)]``
         against the measured relative performance, where ``s_i`` is the
         victim-side interference scale the model applies at prediction time
         (see :meth:`LinearPerfModel.interference_scale` — sub-chip pools
         saturate, so a co-runner's pressure costs the victim in proportion
-        to its own DRAM appetite).  Keys the solo sweep already calibrated
-        are skipped (their rows belong to the private or full-chip shared
-        fits and must stay untouched), as are applications alone in their
-        GI (their keys are plain private ones).
+        to its own DRAM appetite), ``σ`` is the pool's servable fraction
+        of the combined DRAM demand
+        (:func:`repro.core.features.servable_fraction`), and ``P`` are the
+        capacity-aware pool terms of
+        :func:`repro.core.features.pool_saturation_terms` (key schema v3).
+        The ``σ``-scaled copy of the victim's own basis reproduces the
+        reciprocal roll-off of a clipped pool, and the saturating /
+        excess-hinge pool terms let the fit bend exactly where a tiny pool
+        (the 1-GPC/2-slice GI) clips — which a linear-in-``J`` model
+        cannot.  The model applies the identical basis at prediction time,
+        keeping fit and prediction consistent.  Keys the solo sweep
+        already calibrated are skipped (their rows belong to the private
+        or full-chip shared fits and must stay untouched), as are
+        applications alone in their GI (their keys are plain private
+        ones).
         """
         report = self.last_report or TrainingReport()
         design_rows: dict[HardwareStateKey, list[np.ndarray]] = {}
@@ -270,7 +293,7 @@ class ModelTrainer:
                 # if it did not, fitting it from cross-GI co-runner rows
                 # would silently produce wrong private-key coefficients —
                 # leaving it unfitted raises the honest NotFittedError.
-                if key.option is not MemoryOption.SHARED:
+                if not model.is_sub_chip_shared(key):
                     continue
                 if model.has_scalability(key):
                     continue
@@ -281,8 +304,17 @@ class ModelTrainer:
                 own = self._basis.h(measurement.counters[index])
                 scale = model.interference_scale(key, measurement.counters[index])
                 partners = scale * np.sum(self._basis.j_matrix(others), axis=0)
+                victim_demand = dram_demand(measurement.counters[index])
+                co_runner_demand = sum(dram_demand(other) for other in others)
+                pool_fraction = model.pool_fraction(key)
+                servable = servable_fraction(
+                    victim_demand, co_runner_demand, pool_fraction
+                )
+                pool = pool_saturation_terms(
+                    victim_demand, co_runner_demand, pool_fraction
+                )
                 design_rows.setdefault(key, []).append(
-                    np.concatenate([own, partners])
+                    np.concatenate([own, partners, servable * own, pool])
                 )
                 targets.setdefault(key, []).append(
                     measurement.relative_performances[index]
@@ -291,7 +323,16 @@ class ModelTrainer:
         for key, rows in design_rows.items():
             design = np.vstack(rows)
             target = np.array(targets[key], dtype=float)
-            coefficients = self._least_squares(design, target)
+            # Sub-chip pools crush bandwidth-bound victims to tiny RPerf
+            # values; plain least squares all but ignores those rows (their
+            # absolute residuals are small by construction) and the
+            # *relative* error — the paper's accuracy metric — explodes.
+            # Weighting each row by 1/RPerf makes the fit minimize the
+            # relative residual instead.  Full-GI fits are untouched.
+            weights = 1.0 / np.maximum(target, _RELATIVE_WEIGHT_FLOOR)
+            coefficients = self._least_squares(
+                design * weights[:, None], target * weights
+            )
             model.set_scalability_coefficients(key, coefficients[:h_dim])
             model.set_interference_coefficients(key, coefficients[h_dim:])
             residual = design @ coefficients - target

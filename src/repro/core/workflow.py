@@ -46,7 +46,12 @@ from repro.gpu.spec import A100_SPEC, GPUSpec
 from repro.profiling.database import ProfileDatabase
 from repro.profiling.profiler import ProfileCollector
 from repro.sim.engine import PerformanceSimulator
-from repro.workloads.groups import CoRunGroup, groups_of_size, synthetic_training_groups
+from repro.workloads.groups import (
+    CoRunGroup,
+    groups_of_size,
+    synthetic_training_groups,
+    tiny_pool_training_groups,
+)
 from repro.workloads.kernel import KernelCharacteristics
 from repro.workloads.pairs import CORUN_PAIRS, CoRunPair
 from repro.workloads.suite import BenchmarkSuite, DEFAULT_SUITE
@@ -229,12 +234,15 @@ class OfflineTrainer:
             # Sub-chip shared GI keys are calibrated jointly from
             # mixed-state rows only; densify that sweep with synthetic
             # groups so the fit spans the victim x co-runner feature plane
-            # beyond the handful of named triples.  Passing an explicit
-            # ``training_groups`` (even an empty one) suppresses this, so
-            # ablations and real-hardware calibrations keep full control
-            # of what actually runs.
+            # beyond the handful of named triples, plus the tiny-pool
+            # groups that give the capacity-aware basis terms samples on
+            # both sides of the 2-slice pool's clip point.  Passing an
+            # explicit ``training_groups`` (even an empty one) suppresses
+            # this, so ablations and real-hardware calibrations keep full
+            # control of what actually runs.
             for size in sorted({s.n_apps for s in self._plan.mixed_states}):
                 synthetic.extend(synthetic_training_groups(group_size=size))
+                synthetic.extend(tiny_pool_training_groups(group_size=size))
         solo = collect_solo_measurements(
             self._simulator,
             kernels,

@@ -88,6 +88,15 @@ class SimulationError(ReproError):
     """The execution simulator was driven into an invalid state."""
 
 
+class AnalysisError(ReproError):
+    """An analysis helper was asked to summarize an empty or invalid input.
+
+    Raised, for example, when an error summary is requested over an empty
+    power-cap list or an empty evaluation grid — cases that would otherwise
+    surface as a bare ``ZeroDivisionError`` deep inside the averaging.
+    """
+
+
 class TraceError(ReproError):
     """A job trace is malformed, unsorted, or cannot be (de)serialized."""
 

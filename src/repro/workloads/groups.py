@@ -164,6 +164,27 @@ _SYNTHETIC_GROUP_CLASSES: tuple[tuple[WorkloadClass, ...], ...] = (
 )
 
 
+def _groups_from_classes(
+    class_combos: Sequence[tuple[WorkloadClass, ...]],
+    group_size: int,
+    seed: int,
+) -> tuple[tuple[KernelCharacteristics, ...], ...]:
+    """Materialize one synthetic kernel group per class combination.
+
+    Combinations shorter than ``group_size`` are cycled; kernels are drawn
+    class-first from :class:`SyntheticWorkloadGenerator`, so the sweep
+    stays disjoint from the evaluation benchmarks.
+    """
+    from repro.workloads.synthetic import SyntheticWorkloadGenerator
+
+    generator = SyntheticWorkloadGenerator(seed)
+    groups = []
+    for classes in class_combos:
+        cycled = tuple(classes[i % len(classes)] for i in range(group_size))
+        groups.append(tuple(generator.sample_class(c) for c in cycled))
+    return tuple(groups)
+
+
 def synthetic_training_groups(
     group_size: int = 3, seed: int = 2022
 ) -> tuple[tuple[KernelCharacteristics, ...], ...]:
@@ -172,15 +193,45 @@ def synthetic_training_groups(
     The named triples cover only six benchmark-per-slot combinations,
     which is too sparse to calibrate the sub-chip shared GI keys across
     the victim × co-runner feature plane; these synthetic groups densify
-    it (the simulator makes extra calibration workloads free).  Kernels
-    are drawn class-first from :class:`SyntheticWorkloadGenerator`, so the
-    sweep stays disjoint from the evaluation benchmarks.
+    it (the simulator makes extra calibration workloads free).
     """
-    from repro.workloads.synthetic import SyntheticWorkloadGenerator
+    return _groups_from_classes(_SYNTHETIC_GROUP_CLASSES, group_size, seed)
 
-    generator = SyntheticWorkloadGenerator(seed)
-    groups = []
-    for classes in _SYNTHETIC_GROUP_CLASSES:
-        cycled = tuple(classes[i % len(classes)] for i in range(group_size))
-        groups.append(tuple(generator.sample_class(c) for c in cycled))
-    return tuple(groups)
+
+#: Class combinations of the tiny-pool densification groups.  The smallest
+#: shared pool a mixed layout creates (two 1-GPC applications inside a
+#: 2-GPC/2-slice GPU Instance) saturates at a quarter of the chip's
+#: bandwidth, so its capacity-aware basis terms need samples on *both*
+#: sides of the clip point: combinations pairing two memory-hungry members
+#: (deep saturation), a memory-hungry member with a compute-bound one
+#: (victim-side asymmetry), and two light members (the unclipped regime).
+_TINY_POOL_GROUP_CLASSES: tuple[tuple[WorkloadClass, ...], ...] = (
+    (WorkloadClass.MI, WorkloadClass.MI, WorkloadClass.TI),
+    (WorkloadClass.MI, WorkloadClass.MI, WorkloadClass.CI),
+    (WorkloadClass.MI, WorkloadClass.CI, WorkloadClass.US),
+    (WorkloadClass.CI, WorkloadClass.MI, WorkloadClass.MI),
+    (WorkloadClass.MI, WorkloadClass.US, WorkloadClass.MI),
+    (WorkloadClass.US, WorkloadClass.MI, WorkloadClass.CI),
+    (WorkloadClass.CI, WorkloadClass.CI, WorkloadClass.TI),
+    (WorkloadClass.US, WorkloadClass.US, WorkloadClass.MI),
+    (WorkloadClass.TI, WorkloadClass.US, WorkloadClass.MI),
+    (WorkloadClass.MI, WorkloadClass.TI, WorkloadClass.TI),
+    (WorkloadClass.US, WorkloadClass.CI, WorkloadClass.CI),
+    (WorkloadClass.TI, WorkloadClass.CI, WorkloadClass.MI),
+)
+
+
+def tiny_pool_training_groups(
+    group_size: int = 3, seed: int = 20221
+) -> tuple[tuple[KernelCharacteristics, ...], ...]:
+    """Extra synthetic groups densifying the tiny-pool mixed-state sweep.
+
+    The capacity-aware interference basis (key schema v3) adds a
+    saturating pool term and an excess-demand hinge to sub-chip shared
+    keys; fitting their coefficients needs mixed-state rows that populate
+    both the clipped and the unclipped regime of the smallest pools —
+    far denser coverage than :func:`synthetic_training_groups` alone
+    provides around the 2-slice GI.  The seed is disjoint from both the
+    general densification sweep and the held-out evaluation generators.
+    """
+    return _groups_from_classes(_TINY_POOL_GROUP_CLASSES, group_size, seed)

@@ -1,0 +1,394 @@
+"""Capacity-aware saturating interference basis (key schema v3).
+
+The 1-GPC/2-slice GPU Instance's quarter-capacity pool saturates so hard
+that the linear-in-``J`` interference fit underfit it (~29 % mean RPerf
+error on the mixed evaluation grid vs ~16 % for 4-slice GIs).  Key schema
+v3 extends the interference basis of *sub-chip shared* keys with
+capacity-aware terms — the victim's ``H`` block scaled by the pool's
+servable fraction plus saturating/excess pool terms — fitted jointly with
+a relative (1/RPerf) weighting.  These tests lock the contracts:
+
+* **Accuracy** — 2-slice mean RPerf error is within the 15 % acceptance
+  bound and 4-slice is no worse than the seed, on the training-suite
+  mixed evaluation grid (:func:`model_error_by_gi_size`).
+* **Parity** — full-chip shared and private predictions are bit-identical
+  to main (pinned values captured immediately before the basis change),
+  and the scalar and batched paths agree on tiny-pool mixed states.
+* **Robustness** — the victim-side interference scale is clamped into
+  ``[0, 1]`` on both paths, the gather memo evicts least-recently-used
+  grids instead of clearing wholesale, and the error summaries raise
+  :class:`~repro.errors.AnalysisError` on empty inputs instead of a bare
+  ``ZeroDivisionError``.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.analysis.errors import (
+    FOUR_SLICE_MEAN_ERROR_BOUND_PCT,
+    FULL_CHIP_MEAN_ERROR_BOUND_PCT,
+    TWO_SLICE_MEAN_ERROR_BOUND_PCT,
+    model_error_by_gi_size,
+    model_error_summary,
+)
+from repro.core.features import (
+    DEFAULT_BASIS,
+    POOL_TERM_DIM,
+    dram_demand,
+    pool_saturation_terms,
+    servable_fraction,
+)
+from repro.core.model import KEY_SCHEMA_VERSION, HardwareStateKey, LinearPerfModel
+from repro.core.workflow import PaperWorkflow, TrainingPlan
+from repro.errors import AnalysisError, ModelError
+from repro.gpu.mig import MemoryOption, PartitionState, enumerate_partition_states
+from repro.gpu.spec import A100_SPEC
+from repro.sim.counters import CounterVector
+from repro.sim.engine import PerformanceSimulator
+from repro.sim.noise import no_noise
+from repro.workloads.suite import DEFAULT_SUITE
+
+#: Full-chip shared / private predictions captured on main immediately
+#: before the capacity-aware basis change (exact float reprs; compared
+#: with repr() so a single ULP of drift fails loudly).  The
+#: ``mixed_lone_private`` entries pin the third application of a mixed
+#: state — alone in its GI, it carries a plain private key whose
+#: prediction must not move even though its GI-mates' sub-chip keys did.
+PINNED_FULL_CHIP = {
+    "shared3|stream+randomaccess+hgemm|190": [
+        "0.7936905005649615",
+        "0.8184131932774663",
+        "0.012488228626184844",
+    ],
+    "shared3|stream+randomaccess+hgemm|230": [
+        "0.7948551318326661",
+        "0.81953550861852",
+        "0.021426338559929037",
+    ],
+    "shared3|dgemm+lud+bfs|190": [
+        "0.07369291144924812",
+        "0.41832402373009914",
+        "0.8468979335267821",
+    ],
+    "shared3|dgemm+lud+bfs|230": [
+        "0.07463984367949082",
+        "0.4192516638068444",
+        "0.8598729249182041",
+    ],
+    "private3|stream+randomaccess+hgemm|190": [
+        "0.19669328604193434",
+        "0.17786373233895092",
+        "0.36200352685741016",
+    ],
+    "private3|stream+randomaccess+hgemm|230": [
+        "0.19712078670988561",
+        "0.17823553547996193",
+        "0.3591825566204472",
+    ],
+    "mixed_lone_private|stream+randomaccess+hgemm|190": "0.36200352685741016",
+    "mixed_lone_private|stream+randomaccess+hgemm|230": "0.3591825566204472",
+}
+
+NWAY_CAPS = (190.0, 230.0)
+
+#: Seed (pre-v3) mean RPerf error of the 2-slice bucket on the mixed
+#: evaluation grid, measured on main immediately before this change; the
+#: acceptance criteria are "2-slice <= 15 %" (the shared
+#: ``TWO_SLICE_MEAN_ERROR_BOUND_PCT``), "4-slice no worse than seed"
+#: (``FOUR_SLICE_MEAN_ERROR_BOUND_PCT`` pins the seed level), and
+#: "full-chip no worse than the pair-era additive composition"
+#: (``FULL_CHIP_MEAN_ERROR_BOUND_PCT``).  The bounds themselves live in
+#: :mod:`repro.analysis.errors` so the CI gate cannot drift from them.
+SEED_2SLICE_MEAN_PCT = 28.8
+
+
+@pytest.fixture(scope="module")
+def nway_workflow():
+    workflow = PaperWorkflow(
+        simulator=PerformanceSimulator(noise=no_noise()),
+        plan=TrainingPlan.for_spec(A100_SPEC, power_caps=NWAY_CAPS),
+        power_caps=NWAY_CAPS,
+    )
+    workflow.train()
+    return workflow
+
+
+def _counters(workflow, names):
+    db = workflow.online.database
+    return [db.get(name).counters for name in names]
+
+
+def _tiny_pool_states():
+    """Mixed three-application states containing a 2-slice shared GI."""
+    states = []
+    for state in enumerate_partition_states(3, A100_SPEC, (MemoryOption.MIXED,)):
+        slices = [state.mem_slices_for(i, A100_SPEC) for i in range(state.n_apps)]
+        if any(
+            s == 2 and state.effective_option(i) is MemoryOption.SHARED
+            for i, s in enumerate(slices)
+        ):
+            states.append(state)
+    return states
+
+
+# ----------------------------------------------------------------------
+# Accuracy: the 2-slice underfit is closed, 4-slice does not regress
+# ----------------------------------------------------------------------
+class TestPerGISizeAccuracy:
+    def test_tiny_pool_bound_and_no_4slice_regression(self, nway_workflow):
+        summaries = {
+            s.mem_slices: s
+            for s in model_error_by_gi_size(
+                nway_workflow.model, nway_workflow.simulator, NWAY_CAPS
+            )
+        }
+        assert set(summaries) >= {2, 4, A100_SPEC.n_mem_slices}
+        two = summaries[2]
+        four = summaries[4]
+        assert two.n_samples > 100 and four.n_samples > 100
+        assert two.mean_error_pct <= TWO_SLICE_MEAN_ERROR_BOUND_PCT, (
+            f"2-slice mean error {two.mean_error_pct:.1f}% exceeds the "
+            f"{TWO_SLICE_MEAN_ERROR_BOUND_PCT}% acceptance bound (seed was "
+            f"{SEED_2SLICE_MEAN_PCT}%)"
+        )
+        assert four.mean_error_pct <= FOUR_SLICE_MEAN_ERROR_BOUND_PCT, (
+            f"4-slice mean error {four.mean_error_pct:.1f}% is worse than "
+            f"the seed's {FOUR_SLICE_MEAN_ERROR_BOUND_PCT}%"
+        )
+        full_chip = summaries[A100_SPEC.n_mem_slices]
+        assert full_chip.mean_error_pct <= FULL_CHIP_MEAN_ERROR_BOUND_PCT, (
+            f"full-chip shared mean error {full_chip.mean_error_pct:.1f}% "
+            f"regressed past the pair-era {FULL_CHIP_MEAN_ERROR_BOUND_PCT}% level"
+        )
+
+    def test_summaries_sorted_and_positive(self, nway_workflow):
+        summaries = model_error_by_gi_size(
+            nway_workflow.model, nway_workflow.simulator, NWAY_CAPS
+        )
+        slices = [s.mem_slices for s in summaries]
+        assert slices == sorted(slices)
+        for summary in summaries:
+            assert summary.max_error_pct >= summary.mean_error_pct >= 0.0
+
+    def test_sub_chip_coefficients_carry_capacity_terms(self, nway_workflow):
+        model = nway_workflow.model
+        sub_chip = HardwareStateKey(1, 2, MemoryOption.SHARED, 230.0)
+        full_chip = HardwareStateKey(
+            2, A100_SPEC.n_mem_slices, MemoryOption.SHARED, 230.0
+        )
+        expected = DEFAULT_BASIS.j_dim + DEFAULT_BASIS.h_dim + POOL_TERM_DIM
+        assert model.interference_dim(sub_chip) == expected
+        assert model.interference_coefficients(sub_chip).shape == (expected,)
+        assert model.interference_coefficients(full_chip).shape == (
+            DEFAULT_BASIS.j_dim,
+        )
+
+
+# ----------------------------------------------------------------------
+# Parity: full-chip shared / private keys are bit-identical to main
+# ----------------------------------------------------------------------
+class TestFullChipParity:
+    def test_pinned_predictions_bit_identical(self, nway_workflow):
+        model = nway_workflow.model
+        states = {
+            "shared3": PartitionState((2, 2, 3), MemoryOption.SHARED),
+            "private3": PartitionState((2, 2, 3), MemoryOption.PRIVATE),
+            "mixed_lone_private": PartitionState(
+                (2, 2, 3), MemoryOption.MIXED, gi_groups=(0, 0, 1)
+            ),
+        }
+        for entry, expected in PINNED_FULL_CHIP.items():
+            kind, apps, cap = entry.split("|")
+            counters = _counters(nway_workflow, apps.split("+"))
+            predicted = model.predict_corun(counters, states[kind], float(cap))
+            if kind == "mixed_lone_private":
+                assert repr(predicted[2]) == expected, entry
+            else:
+                assert [repr(v) for v in predicted] == expected, entry
+
+    def test_scalar_vs_batched_on_tiny_pool_states(self, nway_workflow):
+        model = nway_workflow.model
+        counters = _counters(nway_workflow, ["stream", "randomaccess", "hgemm"])
+        states = _tiny_pool_states()
+        assert states, "expected at least one 2-slice mixed layout on the A100"
+        candidates = [(state, cap) for state in states for cap in NWAY_CAPS]
+        batched = model.predict_candidates(counters, candidates)
+        for row, (state, cap) in zip(batched, candidates):
+            scalar = model.predict_corun(counters, state, cap)
+            np.testing.assert_allclose(row, scalar, rtol=1e-12)
+
+    def test_document_version_is_v3(self, nway_workflow):
+        assert nway_workflow.model.to_dict()["version"] == KEY_SCHEMA_VERSION == 3
+
+    def test_v2_document_rejected_with_retrain_hint(self, nway_workflow):
+        data = nway_workflow.model.to_dict()
+        data["version"] = 2
+        with pytest.raises(ModelError, match="retrain"):
+            LinearPerfModel.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Victim-side interference scale is clamped into [0, 1]
+# ----------------------------------------------------------------------
+def _overdriven_counters(base: CounterVector, dram_pct: float) -> CounterVector:
+    """A counter vector with an out-of-spec DRAM reading.
+
+    ``CounterVector`` validates its fields, so an over-100 reading — the
+    kind a raw telemetry feed could produce — is injected past the
+    constructor, exactly as a buggy producer would hand it over.
+    """
+    doctored = copy.copy(base)
+    object.__setattr__(doctored, "dram_throughput", dram_pct)
+    return doctored
+
+
+class TestInterferenceScaleClamp:
+    def test_over_100_dram_counter_does_not_amplify(self, nway_workflow):
+        model = nway_workflow.model
+        key = HardwareStateKey(1, 2, MemoryOption.SHARED, 230.0)
+        base = nway_workflow.online.database.get("stream").counters
+        overdriven = _overdriven_counters(base, 130.0)
+        assert overdriven.dram_throughput / 100.0 > 1.0
+        assert model.interference_scale(key, overdriven) == 1.0
+
+    def test_negative_reading_clamped_to_zero(self, nway_workflow):
+        model = nway_workflow.model
+        key = HardwareStateKey(1, 2, MemoryOption.SHARED, 230.0)
+        base = nway_workflow.online.database.get("hgemm").counters
+        assert model.interference_scale(key, _overdriven_counters(base, -5.0)) == 0.0
+
+    def test_full_chip_scale_stays_one(self, nway_workflow):
+        model = nway_workflow.model
+        key = HardwareStateKey(2, A100_SPEC.n_mem_slices, MemoryOption.SHARED, 230.0)
+        base = nway_workflow.online.database.get("stream").counters
+        assert model.interference_scale(key, _overdriven_counters(base, 130.0)) == 1.0
+
+    def test_batched_path_applies_the_same_clamp(self, nway_workflow):
+        """Scalar and batched predictions agree even with an over-100 DRAM
+        counter — i.e. the clamp is applied on both paths."""
+        model = nway_workflow.model
+        counters = _counters(nway_workflow, ["stream", "lud", "hgemm"])
+        counters[0] = _overdriven_counters(counters[0], 130.0)
+        candidates = [
+            (state, cap) for state in _tiny_pool_states() for cap in NWAY_CAPS
+        ]
+        batched = model.predict_candidates(counters, candidates)
+        for row, (state, cap) in zip(batched, candidates):
+            scalar = model.predict_corun(counters, state, cap)
+            np.testing.assert_allclose(row, scalar, rtol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Gather memo: least-recently-used eviction keeps hot grids resident
+# ----------------------------------------------------------------------
+class TestGatherCacheEviction:
+    def _pair_grids(self, count):
+        """Distinct single-candidate pair grids (distinct memo keys)."""
+        states = list(
+            enumerate_partition_states(
+                2, A100_SPEC, (MemoryOption.SHARED, MemoryOption.PRIVATE)
+            )
+        )
+        grids = []
+        for index in range(count):
+            state = states[index % len(states)]
+            cap = NWAY_CAPS[(index // len(states)) % len(NWAY_CAPS)]
+            grids.append([(state, cap)])
+        return grids
+
+    def test_alternating_hot_grids_never_regather(self, nway_workflow):
+        model = nway_workflow.model
+        counters = _counters(nway_workflow, ["stream", "hgemm"])
+        capacity = LinearPerfModel._GATHER_CACHE_SIZE
+        grids = self._pair_grids(capacity + 4)
+        hot_a, hot_b, cold = grids[0], grids[1], grids[2:]
+        model.predict_candidates(counters, hot_a)
+        model.predict_candidates(counters, hot_b)
+        warm = model.gather_cache_builds
+        # A scheduling loop alternating two grids while unrelated one-off
+        # grids churn through (enough to overflow the memo several times):
+        # the hot grids' recency is refreshed on every hit, so only the
+        # one-off grids are ever (re)built.
+        for grid in cold * 2:
+            model.predict_candidates(counters, grid)
+            model.predict_candidates(counters, hot_a)
+            model.predict_candidates(counters, hot_b)
+        assert model.gather_cache_builds == warm + 2 * len(cold)
+
+    def test_memo_stays_bounded(self, nway_workflow):
+        model = nway_workflow.model
+        counters = _counters(nway_workflow, ["stream", "hgemm"])
+        for grid in self._pair_grids(LinearPerfModel._GATHER_CACHE_SIZE * 3):
+            model.predict_candidates(counters, grid)
+        assert len(model._gather_cache) <= LinearPerfModel._GATHER_CACHE_SIZE
+
+
+# ----------------------------------------------------------------------
+# AnalysisError guards on the error summaries
+# ----------------------------------------------------------------------
+class TestAnalysisErrorGuards:
+    def test_empty_power_caps_named(self, context):
+        with pytest.raises(AnalysisError, match="power-cap"):
+            model_error_summary(context, power_caps=())
+
+    def test_empty_candidate_grid_named(self, context):
+        from repro.analysis.context import EvaluationContext
+
+        config = copy.copy(context.config)
+        object.__setattr__(config, "candidate_states", ())
+        empty = EvaluationContext(workflow=context.workflow, config=config)
+        with pytest.raises(AnalysisError, match="grid is empty"):
+            model_error_summary(empty)
+
+    def test_gi_size_empty_inputs_named(self, nway_workflow):
+        model, simulator = nway_workflow.model, nway_workflow.simulator
+        with pytest.raises(AnalysisError, match="power-cap"):
+            model_error_by_gi_size(model, simulator, ())
+        with pytest.raises(AnalysisError, match="workload-group"):
+            model_error_by_gi_size(model, simulator, NWAY_CAPS, groups=[])
+        with pytest.raises(AnalysisError, match="partition-state"):
+            model_error_by_gi_size(model, simulator, NWAY_CAPS, states=())
+
+    def test_gi_size_no_matching_samples_named(self, nway_workflow):
+        model, simulator = nway_workflow.model, nway_workflow.simulator
+        pair_state = PartitionState((4, 3), MemoryOption.PRIVATE)
+        with pytest.raises(AnalysisError, match="no shared-key samples"):
+            model_error_by_gi_size(
+                model, simulator, NWAY_CAPS, states=(pair_state,)
+            )
+
+
+# ----------------------------------------------------------------------
+# Basis-function units
+# ----------------------------------------------------------------------
+class TestBasisUnits:
+    def test_servable_fraction_saturates(self):
+        assert servable_fraction(0.1, 0.1, 0.25) == 1.0
+        assert servable_fraction(0.5, 0.5, 0.25) == pytest.approx(0.25)
+        assert servable_fraction(0.0, 0.0, 0.5) == 1.0
+
+    def test_pool_terms_clip_points(self):
+        below = pool_saturation_terms(0.05, 0.1, 0.25)
+        assert below[0] == pytest.approx(0.4)
+        assert below[1] == 0.0
+        above = pool_saturation_terms(0.6, 0.9, 0.25)
+        assert above[0] == 1.0
+        assert above[1] == pytest.approx(1.25)
+
+    def test_invalid_pool_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            pool_saturation_terms(0.5, 0.5, 0.0)
+        with pytest.raises(ValueError):
+            servable_fraction(0.5, 0.5, 1.5)
+
+    def test_dram_demand_clamped(self):
+        base = PerformanceSimulator(noise=no_noise()).profile(
+            DEFAULT_SUITE.get("stream")
+        )
+        assert 0.0 <= dram_demand(base) <= 1.0
+        assert dram_demand(_overdriven_counters(base, 150.0)) == 1.0
+        assert dram_demand(_overdriven_counters(base, -1.0)) == 0.0

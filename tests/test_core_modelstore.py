@@ -103,17 +103,29 @@ class TestValidation:
 class TestKeySchemaVersioning:
     """Pair-era caches (key schema v1) must be rejected with a retrain hint."""
 
-    def test_store_version_bumped_for_gi_size_keys(self, model, fingerprint, tmp_path):
+    def test_store_version_bumped_for_capacity_basis(self, model, fingerprint, tmp_path):
         path = save_model(model, tmp_path / "model.json", fingerprint)
         document = json.loads(path.read_text())
-        assert document["version"] == STORE_VERSION == 2
-        assert document["key_schema"] == 2
+        assert document["version"] == STORE_VERSION == 3
+        assert document["key_schema"] == 3
 
     def test_pair_era_cache_rejected_with_retrain_hint(self, model, fingerprint, tmp_path):
         path = save_model(model, tmp_path / "model.json", fingerprint)
         document = json.loads(path.read_text())
         document["version"] = 1
         document.pop("key_schema")
+        path.write_text(json.dumps(document))
+        with pytest.raises(ModelCacheError, match="retrain"):
+            load_model(path)
+
+    def test_v2_cache_rejected_with_retrain_hint(self, model, fingerprint, tmp_path):
+        """A GI-size-keyed cache without the capacity-aware basis (store
+        version 2) must be rejected with a retrain hint, not a generic
+        unsupported-version error."""
+        path = save_model(model, tmp_path / "model.json", fingerprint)
+        document = json.loads(path.read_text())
+        document["version"] = 2
+        document["key_schema"] = 2
         path.write_text(json.dumps(document))
         with pytest.raises(ModelCacheError, match="retrain"):
             load_model(path)

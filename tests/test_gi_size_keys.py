@@ -324,7 +324,7 @@ class TestSerializationRoundTrip:
 
     def test_document_carries_schema_version_and_spec(self, nway_workflow):
         data = nway_workflow.model.to_dict()
-        assert data["version"] == KEY_SCHEMA_VERSION == 2
+        assert data["version"] == KEY_SCHEMA_VERSION == 3
         assert data["spec"] == A100_SPEC.name
         assert all("mem_slices" in entry for entry in data["scalability"])
 
