@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Embed the service-layer API: train once, decide many.
+
+The :class:`repro.api.PlannerService` facade is the public surface of the
+library: typed requests in, typed responses out, and a session cache that
+runs the expensive offline calibration at most once per hardware
+configuration.  This walkthrough shows the embedding story:
+
+1. one service instance, first ``decide()`` trains, the rest are online;
+2. ``decide_batch()`` fanning a list of requests over one hot session;
+3. ``states()`` enumeration (no training at all);
+4. JSON round-tripping of requests and responses (the CLI's ``--json``
+   payloads are exactly these documents);
+5. cross-process persistence through a model directory.
+
+Run with::
+
+    python examples/api_quickstart.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+from repro.api import (
+    DecisionRequest,
+    DecisionResult,
+    PlannerService,
+    StatesRequest,
+    decision_requests,
+)
+
+
+def main() -> None:
+    service = PlannerService()
+
+    # ------------------------------------------------------------------
+    # 1. Train once, decide many: only the first decide() pays training.
+    # ------------------------------------------------------------------
+    first = service.decide(
+        DecisionRequest(apps=("igemm4", "stream"), policy="problem1", power_cap_w=230.0)
+    )
+    print(f"first decision : {first.describe()}")
+    second = service.decide(DecisionRequest(apps=("srad", "needle"), policy="problem2"))
+    print(f"second decision: {second.describe()}")
+    stats = service.stats
+    print(
+        f"sessions built={stats.sessions_built} trainings={stats.trainings_run} "
+        f"session reuses={stats.session_reuses}\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Batch decide: one call, many groups, one hot session.
+    # ------------------------------------------------------------------
+    groups = [
+        ("igemm4", "stream"),
+        ("hgemm", "bfs"),
+        ("sgemm", "lud"),
+        ("igemm4", "stream"),  # duplicate: answered once, fanned back out
+    ]
+    batch = service.decide_batch(decision_requests(groups, power_cap_w=230.0))
+    for group, result in zip(groups, batch):
+        print(f"{'+'.join(group):16s} -> {result.state} @ {result.power_cap_w:.0f}W")
+    print(
+        f"batch of {len(groups)} served with "
+        f"{service.stats.trainings_run} training run(s) total\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. Partition-state enumeration never trains.
+    # ------------------------------------------------------------------
+    states = service.states(StatesRequest(n_apps=3))
+    print(
+        f"{states.n_states} realizable 3-application state(s) on "
+        f"{states.spec_description}, e.g. {states.states[0].state}\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Responses are plain data: JSON out, JSON in, equal again.
+    # ------------------------------------------------------------------
+    document = json.dumps(first.to_dict())
+    restored = DecisionResult.from_dict(json.loads(document))
+    print(f"JSON round-trip of the first decision intact: {restored == first}\n")
+
+    # ------------------------------------------------------------------
+    # 5. A model directory persists trained coefficients across services
+    #    (and across processes) through the fingerprinted model store.
+    # ------------------------------------------------------------------
+    with tempfile.TemporaryDirectory() as model_dir:
+        writer = PlannerService(model_dir=model_dir)
+        writer.decide(DecisionRequest(apps=("igemm4", "stream")))
+        reader = PlannerService(model_dir=model_dir)
+        replay = reader.decide(DecisionRequest(apps=("igemm4", "stream")))
+        print(
+            f"second service loaded the cache: trainings={reader.stats.trainings_run} "
+            f"models loaded={reader.stats.models_loaded} "
+            f"(same decision: {replay.state == first.state})"
+        )
+
+
+if __name__ == "__main__":
+    main()

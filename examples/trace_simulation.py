@@ -3,15 +3,16 @@
 
 The batch job manager (``examples/cluster_job_manager.py``) drains a queue
 that is fully populated at t=0.  This walkthrough runs the *online* story
-instead:
+through the service layer — one :class:`repro.api.PlannerService` trains
+once and every section reuses the hot session:
 
 * a synthetic Poisson trace of arriving jobs (from a weighted job mix),
 * the event-driven :class:`ClusterSimulator` dispatching them onto nodes,
-* MIG repartitioning priced with a reconfiguration latency,
-* a cluster-wide power budget re-distributed as the load shifts,
+* MIG repartitioning priced with a reconfiguration latency plus a
+  cluster-wide power budget re-distributed as the load shifts,
 * the batch/event parity check (an all-at-t=0 trace reproduces
   ``JobManager.drain()``),
-* and trace save/load for replaying the exact same workload.
+* and trace save/load + a ``SimulationRequest`` replay of the saved file.
 
 Run with::
 
@@ -23,86 +24,94 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import PaperWorkflow
-from repro.cluster import (
-    ClusterSimulator,
-    JobManager,
-    SchedulerConfig,
-    SimulationConfig,
-)
-from repro.traces import Trace, load_trace, poisson_trace, save_trace
-from repro.workloads.mixes import TENSOR_HEAVY_MIX
+from repro.api import PlannerService, SimulationRequest
+from repro.cluster import JobManager, SchedulerConfig
+from repro.traces import Trace, poisson_trace, save_trace
 
 
 def main() -> None:
-    workflow = PaperWorkflow()
-    workflow.train()
-    scheduler_config = SchedulerConfig(
-        policy_name="problem1", power_cap_w=230.0, alpha=0.2, window_size=6
+    service = PlannerService()
+    base_request = SimulationRequest(
+        policy="problem1", power_cap_w=230.0, alpha=0.2, window_size=6, n_nodes=2
     )
 
     # ------------------------------------------------------------------
     # 1. Online arrivals: a tensor-heavy Poisson stream on two nodes.
     # ------------------------------------------------------------------
+    from repro.workloads.mixes import TENSOR_HEAVY_MIX
+
     trace = poisson_trace(
         arrival_rate_per_s=1.0, duration_s=120.0, seed=7, mix=TENSOR_HEAVY_MIX
     )
     print(trace.summary())
 
-    simulator = ClusterSimulator.from_workflow(
-        workflow, n_nodes=2, scheduler_config=scheduler_config
-    )
-    report = simulator.run(trace)
-    print(report.summary())
+    report = service.simulate_trace(trace, base_request)
+    print(report.report_summary)
     print()
 
     # ------------------------------------------------------------------
-    # 2. The same trace with priced MIG reconfiguration and a power budget.
+    # 2. The same trace with priced MIG reconfiguration and a power budget
+    #    — the hot session is reused, nothing retrains.
     # ------------------------------------------------------------------
-    constrained = ClusterSimulator.from_workflow(
-        workflow,
+    constrained_request = SimulationRequest(
+        policy="problem1",
+        power_cap_w=230.0,
+        alpha=0.2,
+        window_size=6,
         n_nodes=2,
-        scheduler_config=scheduler_config,
-        config=SimulationConfig(repartition_latency_s=2.0, power_budget_w=420.0),
+        repartition_latency_s=2.0,
+        power_budget_w=420.0,
     )
-    constrained_report = constrained.run(trace)
-    print(constrained_report.summary())
-    slowdown = constrained_report.makespan_s / report.makespan_s
+    constrained = service.simulate_trace(trace, constrained_request)
+    print(constrained.report_summary)
+    slowdown = constrained.makespan_s / report.makespan_s
     print(
-        f"Repartition latency + budget stretch the makespan by {slowdown:.2f}x\n"
+        f"Repartition latency + budget stretch the makespan by {slowdown:.2f}x "
+        f"(training runs so far: {service.stats.trainings_run})\n"
     )
 
     # ------------------------------------------------------------------
     # 3. Parity: the all-at-t=0 trace reproduces the batch job manager.
     # ------------------------------------------------------------------
+    session = service.session_for("a100", group_size=2)
+    workflow = session.workflow
     names = ["igemm4", "stream", "srad", "needle", "hgemm", "lud"]
     batch = JobManager.from_workflow(
-        workflow, n_nodes=2, scheduler_config=scheduler_config
+        workflow,
+        n_nodes=2,
+        scheduler_config=SchedulerConfig(
+            policy_name="problem1", power_cap_w=230.0, alpha=0.2, window_size=6
+        ),
     ).drain([workflow.suite.get(name) for name in names])
-    event = ClusterSimulator.from_workflow(
-        workflow, n_nodes=2, scheduler_config=scheduler_config
-    ).run(Trace.all_at_zero(names))
+    event = service.simulate_trace(Trace.all_at_zero(names), base_request)
     print(batch.summary())
     print(
         f"event-loop replay: makespan={event.makespan_s:.2f}s "
-        f"mean turnaround={event.mean_turnaround_s:.2f}s "
+        f"mean turnaround={event.turnaround.mean_s:.2f}s "
         f"(delta={abs(event.makespan_s - batch.makespan_s):.2e}s)"
     )
     print()
 
     # ------------------------------------------------------------------
-    # 4. Persistence: save the trace, reload it, replay it bit-for-bit.
+    # 4. Persistence: save the trace, then replay the file through a
+    #    SimulationRequest — the path the CLI's --trace flag takes.
     # ------------------------------------------------------------------
     with tempfile.TemporaryDirectory() as tmp:
         path = save_trace(trace, Path(tmp) / "trace.csv")
-        replayed = load_trace(path)
-        replay_report = ClusterSimulator.from_workflow(
-            workflow, n_nodes=2, scheduler_config=scheduler_config
-        ).run(replayed)
-        print(f"replayed {replayed.summary()}")
+        replay = service.simulate(
+            SimulationRequest(
+                trace_path=str(path),
+                policy="problem1",
+                power_cap_w=230.0,
+                alpha=0.2,
+                window_size=6,
+                n_nodes=2,
+            )
+        )
+        print(f"replayed {replay.trace_summary}")
         print(
             f"replay p99 wait matches: "
-            f"{abs(replay_report.wait.p99_s - report.wait.p99_s):.2e}s"
+            f"{abs(replay.wait.p99_s - report.wait.p99_s):.2e}s"
         )
 
 

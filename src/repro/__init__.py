@@ -20,17 +20,31 @@ The library is organised in layers (see ``DESIGN.md`` for the full map):
   allocator (the paper's Figure 1 context).
 * :mod:`repro.analysis` — regeneration of every table and figure of the
   paper's evaluation, plus ablations.
+* :mod:`repro.api` — the typed service layer: frozen request/response
+  dataclasses and the session-caching :class:`PlannerService` facade (the
+  surface the CLI and embedding callers use).
 
 Quickstart
 ----------
->>> from repro import PaperWorkflow
->>> workflow = PaperWorkflow()
->>> workflow.train()                                    # offline calibration
->>> decision = workflow.decide_problem1(["igemm4", "stream"], power_cap_w=230)
->>> decision.state.describe(), decision.power_cap_w
+>>> from repro import PlannerService, DecisionRequest
+>>> service = PlannerService()                          # trains once per spec
+>>> result = service.decide(
+...     DecisionRequest(apps=("igemm4", "stream"), power_cap_w=230)
+... )
+>>> result.state, result.power_cap_w
 """
 
 from repro._version import VERSION, __version__
+from repro.api import (
+    DecisionRequest,
+    DecisionResult,
+    PlannerService,
+    PlannerSession,
+    SimulationRequest,
+    SimulationResult,
+    StatesRequest,
+    StatesResult,
+)
 from repro.config import DEFAULT_CONFIG, DEFAULT_POWER_CAPS, EvaluationConfig
 from repro.core import (
     AllocationDecision,
@@ -85,6 +99,15 @@ from repro.workloads import (
 __all__ = [
     "__version__",
     "VERSION",
+    # Service-layer API
+    "PlannerService",
+    "PlannerSession",
+    "DecisionRequest",
+    "DecisionResult",
+    "SimulationRequest",
+    "SimulationResult",
+    "StatesRequest",
+    "StatesResult",
     "EvaluationConfig",
     "DEFAULT_CONFIG",
     "DEFAULT_POWER_CAPS",

@@ -1,0 +1,191 @@
+"""Typed request dataclasses — the input half of the service-layer API.
+
+A request is a frozen, hashable value object that fully describes one call
+into the :class:`~repro.api.service.PlannerService`: which applications,
+which optimization problem, which hardware spec, and (for simulations)
+which trace.  Requests validate the enumerable choices (policy, spec, job
+mix) at construction so an embedding caller fails at the boundary with a
+:class:`~repro.errors.ConfigurationError` instead of deep inside training,
+and they round-trip through ``to_dict()``/``from_dict()`` so the same
+payload can travel over JSON (the CLI's ``--json`` mode emits the matching
+response types).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.api.serde import build
+from repro.errors import ConfigurationError
+from repro.gpu.spec import GPU_SPECS
+from repro.workloads.mixes import JOB_MIXES
+
+#: The optimization problems the service can solve.
+POLICY_NAMES: tuple[str, ...] = ("problem1", "problem2")
+
+
+def _check_policy(policy: str) -> str:
+    if policy not in POLICY_NAMES:
+        raise ConfigurationError(
+            f"unknown policy {policy!r}; valid policies: {POLICY_NAMES}"
+        )
+    return policy
+
+
+def _check_spec(spec: str) -> str:
+    if spec not in GPU_SPECS:
+        raise ConfigurationError(
+            f"unknown hardware spec {spec!r}; valid specs: {tuple(sorted(GPU_SPECS))}"
+        )
+    return spec
+
+
+@dataclass(frozen=True)
+class DecisionRequest:
+    """One allocation question: the best ``(S, P)`` for a co-location group.
+
+    Attributes
+    ----------
+    apps:
+        Application names in allocation order (two reproduce the paper's
+        pairs; more enable N-way co-location).
+    policy:
+        ``"problem1"`` (throughput at a fixed cap) or ``"problem2"``
+        (energy efficiency, cap chosen by the allocator).
+    power_cap_w:
+        The fixed cap for Problem 1; ``None`` selects the spec grid's 92 %
+        point (230 W on the A100), matching the CLI default.
+    alpha:
+        Fairness threshold for either policy.
+    spec:
+        Hardware specification name (``"a100"``, ``"h100"``, ``"a30"``).
+    model_path:
+        Optional model-cache file: load trained coefficients from it if it
+        exists, otherwise train once and save them there.
+    """
+
+    apps: tuple[str, ...]
+    policy: str = "problem1"
+    power_cap_w: float | None = None
+    alpha: float = 0.2
+    spec: str = "a100"
+    model_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.apps, str):
+            raise ConfigurationError(
+                f"apps must be a sequence of application names, not the bare "
+                f"string {self.apps!r} (wrap it: apps=({self.apps!r},))"
+            )
+        object.__setattr__(self, "apps", tuple(str(app) for app in self.apps))
+        if not self.apps:
+            raise ConfigurationError("a decision request needs at least one application")
+        _check_policy(self.policy)
+        _check_spec(self.spec)
+        object.__setattr__(self, "alpha", float(self.alpha))
+        if self.power_cap_w is not None:
+            object.__setattr__(self, "power_cap_w", float(self.power_cap_w))
+
+    @property
+    def group_size(self) -> int:
+        """Number of co-located applications the request describes."""
+        return len(self.apps)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe; tuples serialize as lists)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DecisionRequest":
+        """Rebuild a request from :meth:`to_dict` output (unknown keys fail)."""
+        return build(cls, data)
+
+
+@dataclass(frozen=True)
+class SimulationRequest:
+    """One trace replay through the event-driven cluster simulator.
+
+    ``trace_path`` replays a recorded trace; otherwise a synthetic trace is
+    generated (Poisson by default, bursty when ``burst_size`` is set) from
+    the named job ``mix``.  The scheduling knobs mirror
+    :class:`~repro.cluster.scheduler.SchedulerConfig` and
+    :class:`~repro.cluster.events.SimulationConfig`; deeper validation
+    (positive rates, budget floors, ...) happens in those layers.
+    """
+
+    trace_path: str | None = None
+    arrival_rate_per_s: float = 2.0
+    duration_s: float = 600.0
+    n_jobs: int | None = None
+    burst_size: float | None = None
+    mix: str = "steady"
+    seed: int = 2022
+    n_nodes: int = 2
+    policy: str = "problem2"
+    power_cap_w: float | None = None
+    alpha: float = 0.2
+    window_size: int = 4
+    group_size: int = 2
+    repartition_latency_s: float = 0.0
+    power_budget_w: float | None = None
+    spec: str = "a100"
+    model_path: str | None = None
+    save_trace_path: str | None = None
+
+    def __post_init__(self) -> None:
+        _check_policy(self.policy)
+        _check_spec(self.spec)
+        if self.mix not in JOB_MIXES:
+            raise ConfigurationError(
+                f"unknown job mix {self.mix!r}; valid mixes: {tuple(sorted(JOB_MIXES))}"
+            )
+        if self.burst_size is not None and self.burst_size <= 0:
+            raise ConfigurationError(
+                f"burst_size must be positive, got {self.burst_size}"
+            )
+        if self.power_cap_w is not None:
+            object.__setattr__(self, "power_cap_w", float(self.power_cap_w))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationRequest":
+        """Rebuild a request from :meth:`to_dict` output (unknown keys fail)."""
+        return build(cls, data)
+
+
+@dataclass(frozen=True)
+class StatesRequest:
+    """Enumerate the realizable N-application partition states of a spec."""
+
+    n_apps: int
+    spec: str = "a100"
+
+    def __post_init__(self) -> None:
+        if self.n_apps < 1:
+            raise ConfigurationError(f"n_apps must be >= 1, got {self.n_apps}")
+        _check_spec(self.spec)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StatesRequest":
+        """Rebuild a request from :meth:`to_dict` output (unknown keys fail)."""
+        return build(cls, data)
+
+
+def decision_requests(
+    groups: Sequence[Sequence[str]], **common: Any
+) -> tuple[DecisionRequest, ...]:
+    """Convenience fan-out: one :class:`DecisionRequest` per group.
+
+    ``common`` keyword arguments (policy, spec, alpha, ...) apply to every
+    request — the typical shape of a :meth:`PlannerService.decide_batch`
+    payload.
+    """
+    return tuple(DecisionRequest(apps=tuple(group), **common) for group in groups)

@@ -1,0 +1,350 @@
+"""Typed response dataclasses — the output half of the service-layer API.
+
+Responses are frozen value objects built from the engine's internal records
+(:class:`~repro.core.decision.AllocationDecision`,
+:class:`~repro.cluster.events.report.SimulationReport`, partition-state
+enumerations) but carrying only plain data, so they round-trip through
+``to_dict()``/``from_dict()`` and serialize to JSON unchanged.  Rendering
+helpers (`describe()` on a decision, the carried canonical summary text on
+a simulation) let the thin-client CLI print byte-identical output without
+touching the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+from repro.api.serde import build, checked_kwargs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.events.report import SimulationReport
+    from repro.core.decision import AllocationDecision, CandidateEvaluation
+    from repro.gpu.mig import PartitionState
+    from repro.gpu.spec import GPUSpec
+
+
+@dataclass(frozen=True)
+class CandidateEvaluationResult:
+    """Model-predicted metrics of one candidate ``(S, P)`` combination."""
+
+    state: str
+    label: str | None
+    power_cap_w: float
+    predicted_rperfs: tuple[float, ...]
+    throughput: float
+    fairness: float
+    objective: float
+    feasible: bool
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "predicted_rperfs", tuple(float(v) for v in self.predicted_rperfs)
+        )
+
+    @property
+    def display(self) -> str:
+        """Short name for tables: the state label when one exists."""
+        return self.label or self.state
+
+    @classmethod
+    def from_evaluation(
+        cls, evaluation: "CandidateEvaluation"
+    ) -> "CandidateEvaluationResult":
+        """Convert one engine-level candidate evaluation."""
+        return cls(
+            state=evaluation.state.describe(),
+            label=evaluation.state.label,
+            power_cap_w=float(evaluation.power_cap_w),
+            predicted_rperfs=tuple(evaluation.predicted_rperfs),
+            throughput=float(evaluation.predicted_throughput),
+            fairness=float(evaluation.predicted_fairness),
+            objective=float(evaluation.objective),
+            feasible=bool(evaluation.feasible),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CandidateEvaluationResult":
+        """Rebuild from :meth:`to_dict` output (unknown keys fail)."""
+        return build(cls, data)
+
+
+@dataclass(frozen=True)
+class DecisionResult:
+    """The service's answer to one :class:`~repro.api.requests.DecisionRequest`.
+
+    ``state`` is the human-readable description of the chosen partition /
+    allocation state (including its ``S1``-style label when it has one);
+    ``evaluations`` lists every candidate the search examined, in search
+    order, so clients can render the full comparison table or re-rank by
+    their own criteria.
+    """
+
+    policy: str
+    apps: tuple[str, ...]
+    spec: str
+    state: str
+    state_label: str | None
+    power_cap_w: float
+    predicted_rperfs: tuple[float, ...]
+    predicted_throughput: float
+    predicted_fairness: float
+    predicted_objective: float
+    candidates_evaluated: int
+    evaluations: tuple[CandidateEvaluationResult, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "apps", tuple(str(app) for app in self.apps))
+        object.__setattr__(
+            self, "predicted_rperfs", tuple(float(v) for v in self.predicted_rperfs)
+        )
+        object.__setattr__(self, "evaluations", tuple(self.evaluations))
+
+    def describe(self) -> str:
+        """One-line summary, identical to the engine decision's wording."""
+        return (
+            f"[{self.policy}] choose {self.state} @ "
+            f"{self.power_cap_w:.0f}W (objective={self.predicted_objective:.4f}, "
+            f"throughput={self.predicted_throughput:.3f}, "
+            f"fairness={self.predicted_fairness:.3f})"
+        )
+
+    @classmethod
+    def from_decision(
+        cls,
+        decision: "AllocationDecision",
+        apps: Sequence[str],
+        spec: str,
+    ) -> "DecisionResult":
+        """Convert an engine-level :class:`AllocationDecision`."""
+        return cls(
+            policy=decision.policy_name,
+            apps=tuple(apps),
+            spec=spec,
+            state=decision.state.describe(),
+            state_label=decision.state.label,
+            power_cap_w=float(decision.power_cap_w),
+            predicted_rperfs=tuple(decision.predicted_rperfs),
+            predicted_throughput=float(decision.predicted_throughput),
+            predicted_fairness=float(decision.predicted_fairness),
+            predicted_objective=float(decision.predicted_objective),
+            candidates_evaluated=int(decision.candidates_evaluated),
+            evaluations=tuple(
+                CandidateEvaluationResult.from_evaluation(e)
+                for e in decision.evaluations
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe; nested evaluations become dicts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DecisionResult":
+        """Rebuild from :meth:`to_dict` output (unknown keys fail)."""
+        kwargs = checked_kwargs(cls, data)
+        kwargs["evaluations"] = tuple(
+            entry
+            if isinstance(entry, CandidateEvaluationResult)
+            else CandidateEvaluationResult.from_dict(entry)
+            for entry in kwargs.get("evaluations", ())
+        )
+        return build(cls, kwargs)
+
+
+@dataclass(frozen=True)
+class PartitionStateRow:
+    """One realizable partition state in a :class:`StatesResult`."""
+
+    state: str
+    option: str
+    total_gpcs: int
+    mem_slices_per_app: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "mem_slices_per_app", tuple(int(v) for v in self.mem_slices_per_app)
+        )
+
+    @classmethod
+    def from_state(cls, state: "PartitionState", spec: "GPUSpec") -> "PartitionStateRow":
+        """Convert one engine-level partition state on ``spec``."""
+        return cls(
+            state=state.describe(),
+            option=state.option.value,
+            total_gpcs=state.total_gpcs,
+            mem_slices_per_app=tuple(a.mem_slices for a in state.allocations(spec)),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PartitionStateRow":
+        """Rebuild from :meth:`to_dict` output (unknown keys fail)."""
+        return build(cls, data)
+
+
+@dataclass(frozen=True)
+class StatesResult:
+    """The realizable partition states of one :class:`StatesRequest`.
+
+    ``spec`` echoes the request's spec name; ``spec_description`` is the
+    hardware specification's display name (used in the CLI footer line).
+    """
+
+    spec: str
+    spec_description: str
+    n_apps: int
+    states: tuple[PartitionStateRow, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "states", tuple(self.states))
+
+    @property
+    def n_states(self) -> int:
+        """Number of realizable states."""
+        return len(self.states)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe; nested states become dicts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StatesResult":
+        """Rebuild from :meth:`to_dict` output (unknown keys fail)."""
+        kwargs = checked_kwargs(cls, data)
+        kwargs["states"] = tuple(
+            entry
+            if isinstance(entry, PartitionStateRow)
+            else PartitionStateRow.from_dict(entry)
+            for entry in kwargs.get("states", ())
+        )
+        return build(cls, kwargs)
+
+
+@dataclass(frozen=True)
+class LatencyStatsResult:
+    """Mean and tail percentiles of one latency population (seconds)."""
+
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LatencyStatsResult":
+        """Rebuild from :meth:`to_dict` output (unknown keys fail)."""
+        return build(cls, data)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Online metrics of one :class:`~repro.api.requests.SimulationRequest`.
+
+    Carries the structured metrics of the event-driven replay plus the
+    canonical human-readable renderings (``trace_summary`` and
+    ``report_summary``), which the thin-client CLI prints verbatim — the
+    service renders once, every client displays identically.  Node ids in
+    ``final_power_allocation_w`` are strings so the document survives JSON
+    round-trips unchanged.
+    """
+
+    label: str
+    spec: str
+    n_jobs: int
+    n_nodes: int
+    makespan_s: float
+    sustained_throughput_jobs_per_s: float
+    wait: LatencyStatsResult
+    turnaround: LatencyStatsResult
+    utilization: float
+    energy_wh: float
+    co_scheduled_jobs: int
+    exclusive_jobs: int
+    profile_runs: int
+    events_processed: int
+    repartitions: int
+    repartition_time_s: float
+    mig_instance_changes: int
+    power_rebalances: int
+    final_power_allocation_w: dict[str, float]
+    peak_queue_length: int
+    trace_summary: str
+    report_summary: str
+
+    @classmethod
+    def from_report(
+        cls, report: "SimulationReport", trace_summary: str, spec: str
+    ) -> "SimulationResult":
+        """Convert an engine-level :class:`SimulationReport`."""
+        return cls(
+            label=report.label,
+            spec=spec,
+            n_jobs=report.n_jobs,
+            n_nodes=report.n_nodes,
+            makespan_s=float(report.makespan_s),
+            sustained_throughput_jobs_per_s=float(
+                report.sustained_throughput_jobs_per_s
+            ),
+            wait=LatencyStatsResult(
+                mean_s=report.wait.mean_s,
+                p50_s=report.wait.p50_s,
+                p95_s=report.wait.p95_s,
+                p99_s=report.wait.p99_s,
+                max_s=report.wait.max_s,
+            ),
+            turnaround=LatencyStatsResult(
+                mean_s=report.turnaround.mean_s,
+                p50_s=report.turnaround.p50_s,
+                p95_s=report.turnaround.p95_s,
+                p99_s=report.turnaround.p99_s,
+                max_s=report.turnaround.max_s,
+            ),
+            utilization=float(report.utilization),
+            energy_wh=float(report.energy_wh),
+            co_scheduled_jobs=report.co_scheduled_jobs,
+            exclusive_jobs=report.exclusive_jobs,
+            profile_runs=report.profile_runs,
+            events_processed=report.events_processed,
+            repartitions=report.repartitions,
+            repartition_time_s=float(report.repartition_time_s),
+            mig_instance_changes=report.mig_instance_changes,
+            power_rebalances=report.power_rebalances,
+            final_power_allocation_w={
+                str(node_id): float(cap)
+                for node_id, cap in sorted(report.final_power_allocation_w.items())
+            },
+            peak_queue_length=report.peak_queue_length,
+            trace_summary=trace_summary,
+            report_summary=report.summary(),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe; nested latency stats become dicts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild from :meth:`to_dict` output (unknown keys fail)."""
+        kwargs = checked_kwargs(cls, data)
+        for field_name in ("wait", "turnaround"):
+            value = kwargs.get(field_name)
+            if value is not None and not isinstance(value, LatencyStatsResult):
+                kwargs[field_name] = LatencyStatsResult.from_dict(value)
+        allocation = kwargs.get("final_power_allocation_w")
+        if allocation is not None:
+            kwargs["final_power_allocation_w"] = {
+                str(node_id): float(cap) for node_id, cap in allocation.items()
+            }
+        return build(cls, kwargs)

@@ -1,4 +1,4 @@
-"""Command-line interface.
+"""Command-line interface: a thin client of the service-layer API.
 
 A small operator-facing CLI over the library, mirroring how the paper's
 workflow would be driven in a deployment:
@@ -19,13 +19,23 @@ workflow would be driven in a deployment:
 * ``repro-cli figure N`` — regenerate the data behind one of the paper's
   figures (4, 5, 6, 8, 9, 10, 11, 12 or 13).
 
-Every command works offline on the simulated substrate and prints plain
-text; exit status is non-zero on invalid arguments.
+The service-backed commands (``decide``, ``simulate``, ``states``) only
+parse arguments, build a typed request, call
+:class:`~repro.api.PlannerService`, and render the typed response — the
+engine plumbing (trainer, suite, allocator, model cache) lives behind the
+service.  Each of them also takes ``--json`` to emit the response
+dataclass's ``to_dict()`` as machine-readable JSON instead of text.
+
+Exit status: 0 on success, and on a library error one stable code per
+failure family (see :data:`EXIT_CODE_MAP`): 2 for configuration / input
+problems, 3 for infeasible optimization problems, 4 for a rejected model
+cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Sequence
 
@@ -43,15 +53,46 @@ from repro.analysis.report import (
     render_table7,
 )
 from repro.analysis.tables import table7_classification
-from repro.config import DEFAULT_POWER_CAPS
-from repro.errors import ReproError
-from repro.gpu.mig import enumerate_partition_states
-from repro.gpu.spec import GPU_SPECS, spec_by_name
+from repro.api import (
+    DecisionRequest,
+    PlannerService,
+    SimulationRequest,
+    StatesRequest,
+)
+from repro.errors import ModelCacheError, OptimizationError, ReproError
+from repro.gpu.spec import GPU_SPECS
 from repro.sim.engine import PerformanceSimulator
 from repro.sim.sweep import scalability_power_sweep, scalability_sweep
 from repro.workloads.classification import EXPECTED_CLASSIFICATION
-from repro.workloads.mixes import JOB_MIXES, mix_by_name
+from repro.workloads.mixes import JOB_MIXES
 from repro.workloads.suite import DEFAULT_SUITE
+
+# ----------------------------------------------------------------------
+# Exit codes: one stable code per failure family, mapped in one place.
+# ----------------------------------------------------------------------
+#: Configuration / input problems (bad spec, unknown kernel, bad trace, ...).
+EXIT_CONFIG = 2
+#: The optimization problem has no feasible candidate (e.g. alpha too strict).
+EXIT_INFEASIBLE = 3
+#: A persisted model cache cannot serve the request (stale schema/spec/grid).
+EXIT_MODEL_CACHE = 4
+
+#: Most-specific-first mapping from :class:`ReproError` families to exit
+#: codes; the first matching row wins, and anything else falls back to
+#: :data:`EXIT_CONFIG`.
+EXIT_CODE_MAP: tuple[tuple[type[ReproError], int], ...] = (
+    (ModelCacheError, EXIT_MODEL_CACHE),
+    (OptimizationError, EXIT_INFEASIBLE),
+    (ReproError, EXIT_CONFIG),
+)
+
+
+def exit_code_for(exc: ReproError) -> int:
+    """The stable CLI exit code of a library error."""
+    for exc_type, code in EXIT_CODE_MAP:
+        if isinstance(exc, exc_type):
+            return code
+    return EXIT_CONFIG  # pragma: no cover - ReproError row matches everything
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -101,6 +142,11 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="model cache path: load trained coefficients from PATH if it "
         "exists, otherwise train once and save them there",
+    )
+    decide.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the decision as machine-readable JSON instead of text",
     )
 
     simulate = subparsers.add_parser(
@@ -176,6 +222,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--save-trace", default=None, metavar="PATH",
         help="also write the (synthetic) trace to PATH (.csv or .json)",
     )
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the simulation report as machine-readable JSON instead of text",
+    )
 
     states = subparsers.add_parser(
         "states", help="enumerate the realizable N-application partition states"
@@ -186,6 +237,11 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=sorted(GPU_SPECS),
         default="a100",
         help="hardware specification to enumerate for",
+    )
+    states.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the state list as machine-readable JSON instead of text",
     )
 
     subparsers.add_parser("accuracy", help="average model error across the evaluation grid")
@@ -199,7 +255,15 @@ def _build_parser() -> argparse.ArgumentParser:
 # ----------------------------------------------------------------------
 # Command implementations
 # ----------------------------------------------------------------------
-def _cmd_list_benchmarks(_: argparse.Namespace, out: Callable[[str], None]) -> int:
+def _emit_json(result, out: Callable[[str], None]) -> int:
+    """Render a response dataclass as indented JSON."""
+    out(json.dumps(result.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_list_benchmarks(
+    _: argparse.Namespace, out: Callable[[str], None], __: PlannerService
+) -> int:
     rows = []
     for name in DEFAULT_SUITE.names():
         kernel = DEFAULT_SUITE.get(name)
@@ -218,7 +282,9 @@ def _cmd_list_benchmarks(_: argparse.Namespace, out: Callable[[str], None]) -> i
     return 0
 
 
-def _cmd_classify(_: argparse.Namespace, out: Callable[[str], None]) -> int:
+def _cmd_classify(
+    _: argparse.Namespace, out: Callable[[str], None], __: PlannerService
+) -> int:
     context = EvaluationContext.create()
     data = table7_classification(context)
     out(render_table7(data))
@@ -226,7 +292,9 @@ def _cmd_classify(_: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
-def _cmd_scalability(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+def _cmd_scalability(
+    args: argparse.Namespace, out: Callable[[str], None], _: PlannerService
+) -> int:
     kernel = DEFAULT_SUITE.get(args.kernel)
     simulator = PerformanceSimulator()
     if args.sweep_power:
@@ -245,128 +313,95 @@ def _cmd_scalability(args: argparse.Namespace, out: Callable[[str], None]) -> in
     return 0
 
 
-def _build_workflow(spec_name: str, group_size: int, model_path: str | None):
-    """A trained workflow for ``spec_name``, sized for ``group_size`` groups.
-
-    The paper's Table 5 grid only covers A100 pairs; N-way groups and
-    non-A100 specs train on the spec-derived grid.  When ``model_path`` is
-    given the trained coefficients are loaded from / saved to that cache,
-    skipping the offline sweeps on every later invocation.
-    """
-    from repro.core.workflow import PaperWorkflow, TrainingPlan, power_caps_for_spec
-
-    spec = spec_by_name(spec_name)
-    needs_general_grid = spec_name != "a100" or group_size != 2
-    if needs_general_grid:
-        # N-way groups and non-A100 specs need coefficients for the whole
-        # instance-size grid, not just the S1-S4 keys of Table 5.
-        caps = power_caps_for_spec(spec)
-        workflow = PaperWorkflow(
-            simulator=PerformanceSimulator(spec),
-            plan=TrainingPlan.for_spec(spec, power_caps=caps),
-            power_caps=caps,
-        )
-    else:
-        caps = tuple(DEFAULT_POWER_CAPS)
-        workflow = PaperWorkflow()
-    workflow.train_or_load(model_path)
-    return workflow, caps
-
-
-def _cmd_decide(args: argparse.Namespace, out: Callable[[str], None]) -> int:
-    workflow, caps = _build_workflow(args.spec, len(args.apps), args.model)
-    power_cap = args.power_cap if args.power_cap is not None else caps[-2]
-    if args.policy == "problem1":
-        decision = workflow.decide_problem1(args.apps, power_cap, args.alpha)
-    else:
-        decision = workflow.decide_problem2(args.apps, args.alpha)
-    out(decision.describe())
+def _cmd_decide(
+    args: argparse.Namespace, out: Callable[[str], None], service: PlannerService
+) -> int:
+    request = DecisionRequest(
+        apps=tuple(args.apps),
+        policy=args.policy,
+        power_cap_w=args.power_cap,
+        alpha=args.alpha,
+        spec=args.spec,
+        model_path=args.model,
+    )
+    result = service.decide(request)
+    if args.json:
+        return _emit_json(result, out)
+    out(result.describe())
     out("")
     rows = [
         (
-            e.state.label or e.state.describe(),
+            e.display,
             f"{e.power_cap_w:.0f}",
-            f"{e.predicted_throughput:.3f}",
-            f"{e.predicted_fairness:.3f}",
+            f"{e.throughput:.3f}",
+            f"{e.fairness:.3f}",
             f"{e.objective:.5f}",
             "yes" if e.feasible else "no",
         )
-        for e in decision.evaluations
+        for e in result.evaluations
     ]
     out(ascii_table(["state", "P[W]", "throughput", "fairness", "objective", "feasible"], rows))
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace, out: Callable[[str], None]) -> int:
-    from repro.cluster.events import ClusterSimulator, SimulationConfig
-    from repro.cluster.scheduler import SchedulerConfig
-    from repro.traces import bursty_trace, load_trace, poisson_trace, save_trace
-
-    if args.trace is not None:
-        trace = load_trace(args.trace)
-    elif args.burst_size is not None:
-        trace = bursty_trace(
-            burst_rate_per_s=args.arrival_rate / args.burst_size,
-            mean_burst_size=args.burst_size,
-            duration_s=args.duration,
-            n_jobs=args.jobs,
-            seed=args.seed,
-            mix=mix_by_name(args.mix),
-        )
-    else:
-        trace = poisson_trace(
-            arrival_rate_per_s=args.arrival_rate,
-            duration_s=args.duration,
-            n_jobs=args.jobs,
-            seed=args.seed,
-            mix=mix_by_name(args.mix),
-        )
-    if args.save_trace is not None:
-        save_trace(trace, args.save_trace)
-    out(trace.summary())
-
-    workflow, caps = _build_workflow(args.spec, args.group_size, args.model)
-    power_cap = args.power_cap if args.power_cap is not None else caps[-2]
-    scheduler_config = SchedulerConfig(
+def _cmd_simulate(
+    args: argparse.Namespace, out: Callable[[str], None], service: PlannerService
+) -> int:
+    request = SimulationRequest(
+        trace_path=args.trace,
+        arrival_rate_per_s=args.arrival_rate,
+        duration_s=args.duration,
+        n_jobs=args.jobs,
+        burst_size=args.burst_size,
+        mix=args.mix,
+        seed=args.seed,
+        n_nodes=args.nodes,
+        policy=args.policy,
+        power_cap_w=args.power_cap,
+        alpha=args.alpha,
         window_size=args.window,
         group_size=args.group_size,
-        policy_name=args.policy,
-        power_cap_w=power_cap,
-        alpha=args.alpha,
+        repartition_latency_s=args.repartition_latency,
+        power_budget_w=args.power_budget,
+        spec=args.spec,
+        model_path=args.model,
+        save_trace_path=args.save_trace,
     )
-    simulator = ClusterSimulator.from_workflow(
-        workflow,
-        n_nodes=args.nodes,
-        scheduler_config=scheduler_config,
-        config=SimulationConfig(
-            repartition_latency_s=args.repartition_latency,
-            power_budget_w=args.power_budget,
-        ),
-    )
-    report = simulator.run(trace, suite=workflow.suite)
+    result = service.simulate(request)
+    if args.json:
+        return _emit_json(result, out)
+    out(result.trace_summary)
     out("")
-    out(report.summary())
+    out(result.report_summary)
     return 0
 
 
-def _cmd_states(args: argparse.Namespace, out: Callable[[str], None]) -> int:
-    spec = spec_by_name(args.spec)
-    states = tuple(enumerate_partition_states(args.n_apps, spec))
+def _cmd_states(
+    args: argparse.Namespace, out: Callable[[str], None], service: PlannerService
+) -> int:
+    result = service.states(StatesRequest(n_apps=args.n_apps, spec=args.spec))
+    if args.json:
+        return _emit_json(result, out)
     rows = [
         (
-            state.describe(),
-            state.option.value,
-            state.total_gpcs,
-            "-".join(str(a.mem_slices) for a in state.allocations(spec)),
+            row.state,
+            row.option,
+            row.total_gpcs,
+            "-".join(str(slices) for slices in row.mem_slices_per_app),
         )
-        for state in states
+        for row in result.states
     ]
     out(ascii_table(["state", "option", "GPCs", "mem slices/app"], rows))
-    out(f"\n{len(states)} realizable state(s) for {args.n_apps} application(s) on {spec.name}")
+    out(
+        f"\n{result.n_states} realizable state(s) for {result.n_apps} "
+        f"application(s) on {result.spec_description}"
+    )
     return 0
 
 
-def _cmd_accuracy(_: argparse.Namespace, out: Callable[[str], None]) -> int:
+def _cmd_accuracy(
+    _: argparse.Namespace, out: Callable[[str], None], __: PlannerService
+) -> int:
     context = EvaluationContext.create()
     summary = model_error_summary(context)
     out(
@@ -377,7 +412,9 @@ def _cmd_accuracy(_: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
-def _cmd_figure(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+def _cmd_figure(
+    args: argparse.Namespace, out: Callable[[str], None], _: PlannerService
+) -> int:
     context = EvaluationContext.create()
     number = args.number
     if number == 4:
@@ -428,16 +465,27 @@ _COMMANDS = {
 }
 
 
-def main(argv: Sequence[str] | None = None, out: Callable[[str], None] = print) -> int:
-    """CLI entry point; returns the process exit status."""
+def main(
+    argv: Sequence[str] | None = None,
+    out: Callable[[str], None] = print,
+    service: PlannerService | None = None,
+) -> int:
+    """CLI entry point; returns the process exit status.
+
+    ``service`` lets a long-lived embedding (tests, a REPL, a daemon) share
+    one :class:`PlannerService` — and with it the trained-session cache —
+    across invocations; by default each invocation gets a fresh one.
+    """
     parser = _build_parser()
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command]
+    if service is None:
+        service = PlannerService()
     try:
-        return handler(args, out)
+        return handler(args, out, service)
     except ReproError as exc:
         out(f"error: {exc}")
-        return 2
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

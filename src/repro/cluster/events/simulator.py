@@ -33,6 +33,7 @@ from repro.cluster.queue import JobQueue
 from repro.cluster.scheduler import CoScheduler, DispatchPlan, SchedulerConfig
 from repro.core.workflow import OnlineAllocator, PaperWorkflow
 from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import PerformanceSimulator
 from repro.traces.trace import Trace
 from repro.workloads.suite import BenchmarkSuite
 
@@ -133,6 +134,32 @@ class ClusterSimulator:
 
     # ------------------------------------------------------------------
     @classmethod
+    def from_allocator(
+        cls,
+        allocator: OnlineAllocator,
+        simulator: PerformanceSimulator,
+        n_nodes: int = 1,
+        scheduler_config: SchedulerConfig | None = None,
+        config: SimulationConfig | None = None,
+    ) -> "ClusterSimulator":
+        """Build a cluster of ``n_nodes`` nodes sharing ``simulator``'s spec.
+
+        This is the service-layer construction path: it needs only the two
+        online objects (a trained allocator and the performance simulator
+        backing the nodes), not a :class:`PaperWorkflow`.
+        """
+        nodes = [
+            ComputeNode(node_id=i, spec=simulator.spec, simulator=simulator)
+            for i in range(n_nodes)
+        ]
+        return cls(
+            allocator=allocator,
+            nodes=nodes,
+            scheduler_config=scheduler_config,
+            config=config,
+        )
+
+    @classmethod
     def from_workflow(
         cls,
         workflow: PaperWorkflow,
@@ -141,17 +168,10 @@ class ClusterSimulator:
         config: SimulationConfig | None = None,
     ) -> "ClusterSimulator":
         """Build a simulator whose nodes share the workflow's simulator/spec."""
-        nodes = [
-            ComputeNode(
-                node_id=i,
-                spec=workflow.simulator.spec,
-                simulator=workflow.simulator,
-            )
-            for i in range(n_nodes)
-        ]
-        return cls(
-            allocator=workflow.online,
-            nodes=nodes,
+        return cls.from_allocator(
+            workflow.online,
+            workflow.simulator,
+            n_nodes=n_nodes,
             scheduler_config=scheduler_config,
             config=config,
         )

@@ -38,7 +38,12 @@ from repro.core.metrics import (
     weighted_speedup_batch,
 )
 from repro.core.model import HardwareStateKey, LinearPerfModel
-from repro.core.modelstore import ModelFingerprint, load_model, save_model
+from repro.core.modelstore import (
+    ModelFingerprint,
+    cache_path_for,
+    load_model,
+    save_model,
+)
 from repro.core.optimizer import DecisionCache, ResourcePowerAllocator
 from repro.core.policies import Policy, Problem1Policy, Problem2Policy
 from repro.core.search import ExhaustiveSearch, HillClimbingSearch, SearchCandidate
@@ -74,6 +79,7 @@ __all__ = [
     "HardwareStateKey",
     "LinearPerfModel",
     "ModelFingerprint",
+    "cache_path_for",
     "load_model",
     "save_model",
     "ResourcePowerAllocator",

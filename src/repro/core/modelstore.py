@@ -117,6 +117,27 @@ class ModelFingerprint:
             )
 
 
+def cache_path_for(directory: str | Path, fingerprint: ModelFingerprint) -> Path:
+    """The canonical cache file for ``fingerprint`` under ``directory``.
+
+    The filename folds the spec name with a digest of the full fingerprint
+    (cap grid, training-grid digest, key-schema version), so every distinct
+    session the service can build maps to its own file and two processes
+    configured the same way converge on the same path — this is what gives
+    :class:`repro.api.PlannerService` cross-process model persistence.
+    """
+    identity = "|".join(
+        (
+            fingerprint.spec_name,
+            ",".join(f"{p:.3f}" for p in fingerprint.power_caps),
+            fingerprint.grid_digest,
+            f"v{fingerprint.key_schema}",
+        )
+    )
+    digest = hashlib.sha256(identity.encode()).hexdigest()[:12]
+    return Path(directory) / f"{fingerprint.spec_name}-{digest}.json"
+
+
 def save_model(
     model: LinearPerfModel,
     path: str | Path,

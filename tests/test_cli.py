@@ -94,7 +94,7 @@ class TestSimulate:
         code, text = run_cli(
             ["decide", "igemm4", "stream", "bfs", "--model", str(model_path)]
         )
-        assert code == 2
+        assert code == 4  # the stable model-cache exit code
         assert "different partition-state grid" in text
 
     def test_bursty_generator_and_budget(self):
@@ -155,6 +155,48 @@ class TestSimulate:
         assert model_path.exists()
         code, _ = run_cli(args)
         assert code == 0
+
+
+class TestExitCodes:
+    """One stable exit code per ReproError family, mapped in one place."""
+
+    def test_exit_code_map_is_most_specific_first(self):
+        from repro.cli import (
+            EXIT_CONFIG,
+            EXIT_INFEASIBLE,
+            EXIT_MODEL_CACHE,
+            exit_code_for,
+        )
+        from repro.errors import (
+            ConfigurationError,
+            InfeasibleProblemError,
+            ModelCacheError,
+            OptimizationError,
+            ReproError,
+            TraceError,
+        )
+
+        assert exit_code_for(ModelCacheError("stale")) == EXIT_MODEL_CACHE == 4
+        assert exit_code_for(InfeasibleProblemError("no candidate")) == EXIT_INFEASIBLE == 3
+        assert exit_code_for(OptimizationError("boom")) == EXIT_INFEASIBLE
+        assert exit_code_for(ConfigurationError("bad")) == EXIT_CONFIG == 2
+        assert exit_code_for(TraceError("bad trace")) == EXIT_CONFIG
+        assert exit_code_for(ReproError("generic")) == EXIT_CONFIG
+
+    def test_infeasible_problem_exits_3(self):
+        code, text = run_cli(
+            ["decide", "igemm4", "stream", "--policy", "problem1",
+             "--power-cap", "230", "--alpha", "0.99"]
+        )
+        assert code == 3
+        assert "fairness constraint" in text
+
+    def test_configuration_error_exits_2(self):
+        code, text = run_cli(
+            ["decide", "igemm4", "stream", "--alpha", "1.5"]
+        )
+        assert code == 2
+        assert "alpha" in text
 
 
 class TestAccuracyAndFigures:

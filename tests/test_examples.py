@@ -23,6 +23,7 @@ EXAMPLES = [
     "telemetry_and_export",
     "nway_colocation",
     "trace_simulation",
+    "api_quickstart",
 ]
 
 
