@@ -7,6 +7,7 @@ that the offline calibration cost is paid exactly once.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 from pathlib import Path
@@ -38,3 +39,17 @@ def context() -> EvaluationContext:
 def emit(title: str, body: str) -> None:
     """Print a rendered table/series so ``pytest -s`` shows the paper data."""
     print(f"\n=== {title} ===\n{body}\n")
+
+
+def emit_bench_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable benchmark result next to the repo (or to
+    ``$REPRO_BENCH_DIR``) as ``BENCH_<name>.json``.
+
+    CI uploads these files as artifacts so the throughput trajectory can
+    be tracked across commits without scraping pytest output.
+    """
+    out_dir = Path(os.environ.get("REPRO_BENCH_DIR", Path(__file__).resolve().parents[1]))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -59,8 +59,9 @@ from repro.api import (
     SimulationRequest,
     StatesRequest,
 )
-from repro.errors import ModelCacheError, OptimizationError, ReproError
+from repro.errors import ConfigurationError, ModelCacheError, OptimizationError, ReproError
 from repro.gpu.spec import GPU_SPECS
+from repro.profiling import HotspotProfiler
 from repro.sim.engine import PerformanceSimulator
 from repro.sim.sweep import scalability_power_sweep, scalability_sweep
 from repro.workloads.classification import EXPECTED_CLASSIFICATION
@@ -227,6 +228,18 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the simulation report as machine-readable JSON instead of text",
     )
+    simulate.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=15,
+        default=None,
+        metavar="N",
+        help="profile the simulation with cProfile and append the top N "
+        "call sites by cumulative time (default 15); the model is trained "
+        "before profiling starts so the report shows the event loop, not "
+        "one-time training",
+    )
 
     states = subparsers.add_parser(
         "states", help="enumerate the realizable N-application partition states"
@@ -367,6 +380,22 @@ def _cmd_simulate(
         model_path=args.model,
         save_trace_path=args.save_trace,
     )
+    if args.profile is not None:
+        if args.json:
+            raise ConfigurationError("--profile cannot be combined with --json")
+        # Warm the session up front so the profile shows the event loop,
+        # not the one-time offline training of the performance model.
+        service.session_for(args.spec, args.group_size, args.model)
+        profiler = HotspotProfiler()
+        with profiler:
+            result = service.simulate(request)
+        out(result.trace_summary)
+        out("")
+        out(result.report_summary)
+        out("")
+        out(f"top {args.profile} call sites by cumulative time:")
+        out(profiler.report(top=args.profile))
+        return 0
     result = service.simulate(request)
     if args.json:
         return _emit_json(result, out)

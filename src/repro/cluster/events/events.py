@@ -13,8 +13,8 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
-from typing import ClassVar
+from dataclasses import dataclass
+from typing import ClassVar, Iterable
 
 from repro.cluster.job import Job
 from repro.errors import SimulationError
@@ -118,19 +118,19 @@ class SimulationClock:
         return self._now
 
 
-@dataclass(order=True)
-class _HeapItem:
-    time: float
-    priority: int
-    sequence: int
-    event: Event = field(compare=False)
-
-
 class EventHeap:
-    """A stable min-heap of :class:`Event` objects."""
+    """A stable min-heap of :class:`Event` objects.
+
+    Entries are plain ``(time, priority, sequence, event)`` tuples so heap
+    comparisons run at C speed; the unique sequence number guarantees the
+    comparison never reaches the (incomparable) event object and keeps
+    equal ``(time, priority)`` events in insertion order.
+    """
+
+    __slots__ = ("_heap", "_sequence")
 
     def __init__(self) -> None:
-        self._heap: list[_HeapItem] = []
+        self._heap: list[tuple[float, int, int, Event]] = []
         self._sequence = 0
 
     def __len__(self) -> int:
@@ -144,22 +144,37 @@ class EventHeap:
     def push(self, event: Event) -> None:
         """Schedule ``event``."""
         heapq.heappush(
-            self._heap,
-            _HeapItem(event.time, type(event).priority, self._sequence, event),
+            self._heap, (event.time, type(event).priority, self._sequence, event)
         )
         self._sequence += 1
+
+    def push_many(self, events: Iterable[Event]) -> None:
+        """Schedule a whole batch of events in O(n + len(heap)).
+
+        Bulk-loading a trace event by event costs O(n log n) sift-ups;
+        appending every entry and re-heapifying once is O(n) and yields the
+        exact same pop order (the ``(time, priority, sequence)`` key is a
+        total order, so any valid heap drains identically).
+        """
+        heap = self._heap
+        sequence = self._sequence
+        for event in events:
+            heap.append((event.time, type(event).priority, sequence, event))
+            sequence += 1
+        self._sequence = sequence
+        heapq.heapify(heap)
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
         if not self._heap:
             raise SimulationError("the event heap is empty")
-        return heapq.heappop(self._heap).event
+        return heapq.heappop(self._heap)[3]
 
     def peek_time(self) -> float:
         """Timestamp of the earliest event (heap must be non-empty)."""
         if not self._heap:
             raise SimulationError("the event heap is empty")
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def pop_batch(self) -> tuple[Event, ...]:
         """Remove and return every event sharing the earliest timestamp.
@@ -169,10 +184,11 @@ class EventHeap:
         instant see each other — exactly like the batch scheduler's
         single-timestep view of the queue.
         """
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise SimulationError("the event heap is empty")
-        now = self._heap[0].time
+        now = heap[0][0]
         batch = []
-        while self._heap and self._heap[0].time == now:
-            batch.append(heapq.heappop(self._heap).event)
+        while heap and heap[0][0] == now:
+            batch.append(heapq.heappop(heap)[3])
         return tuple(batch)

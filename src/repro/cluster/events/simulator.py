@@ -13,8 +13,11 @@ the batch job manager's schedule exactly (parity-tested).
 
 from __future__ import annotations
 
+import heapq
 from collections import Counter
 from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro.cluster.events.events import (
     ArrivalEvent,
@@ -28,11 +31,12 @@ from repro.cluster.events.events import (
 from repro.cluster.events.report import LatencyStats, SimulationReport
 from repro.cluster.job import Job
 from repro.cluster.node import ComputeNode
-from repro.cluster.powerbudget import ClusterPowerManager, PowerRequest
+from repro.cluster.powerbudget import ClusterPowerManager
 from repro.cluster.queue import JobQueue
 from repro.cluster.scheduler import CoScheduler, DispatchPlan, SchedulerConfig
 from repro.core.workflow import OnlineAllocator, PaperWorkflow
 from repro.errors import ConfigurationError, SimulationError
+from repro.gpu.mig import PartitionState
 from repro.sim.engine import PerformanceSimulator
 from repro.traces.trace import Trace
 from repro.workloads.suite import BenchmarkSuite
@@ -88,6 +92,19 @@ class _RunState:
     completed: list[Job] = field(default_factory=list)
     layouts: dict[int, tuple[int, ...]] = field(default_factory=dict)
     shares: dict[int, float] = field(default_factory=dict)
+    #: Min-heap of *positions* into the node list that are currently free.
+    #: Maintained incrementally (popped at dispatch, pushed at completion)
+    #: so dispatch cost scales with the number of free nodes, not fleet
+    #: size; position order reproduces the original node-list scan order.
+    free_nodes: list[int] = field(default_factory=list)
+    #: Per-node power demand arrays (positions parallel to the node list);
+    #: ``None`` unless a cluster power budget is configured.
+    desired_w: np.ndarray | None = None
+    minimum_w: np.ndarray | None = None
+    minimum_total_w: float = 0.0
+    #: Whether any node changed busy state (and hence demand) since the
+    #: last budget split; clean rebalances reuse the previous shares.
+    power_dirty: bool = True
     events_processed: int = 0
     service_time_s: float = 0.0
     energy_j: float = 0.0
@@ -131,6 +148,14 @@ class ClusterSimulator:
                     f"({spec.min_power_cap_w} W each)"
                 )
         self._solo_power_cache: dict[str, float] = {}
+        self._layout_cache: dict[PartitionState, tuple[int, ...]] = {}
+        self._node_ids = [node.node_id for node in self._nodes]
+        self._node_position = {
+            node.node_id: position for position, node in enumerate(self._nodes)
+        }
+        if len(self._node_position) != len(self._nodes):
+            raise ConfigurationError("node ids must be unique within a cluster")
+        self._free_desired_w = max(spec.default_power_limit_w, spec.min_power_cap_w)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -201,20 +226,30 @@ class ClusterSimulator:
             node.busy_until = 0.0
             node.release()
         state = _RunState(queue=JobQueue())
-        for entry, kernel in zip(trace.entries, kernels):
-            state.heap.push(
-                ArrivalEvent(time=entry.arrival_time_s, entry=entry, kernel=kernel)
-            )
+        # Ascending positions form a valid min-heap as-is.
+        state.free_nodes = list(range(len(self._nodes)))
+        state.heap.push_many(
+            ArrivalEvent(time=entry.arrival_time_s, entry=entry, kernel=kernel)
+            for entry, kernel in zip(trace.entries, kernels)
+        )
         if self._config.power_budget_w is not None:
             # Initial even split so the first dispatches already respect the
             # budget; reactive rebalances then track the load.
-            state.shares = dict(self._distribute(state))
+            state.desired_w = np.full(
+                len(self._nodes), self._free_desired_w, dtype=np.float64
+            )
+            state.minimum_w = np.full(
+                len(self._nodes), self._spec.min_power_cap_w, dtype=np.float64
+            )
+            state.minimum_total_w = float(sum(state.minimum_w.tolist()))
+            state.shares = self._distribute(state)
+            state.power_dirty = False
 
         while not state.heap.empty:
             batch = state.heap.pop_batch()
             state.clock.advance(batch[0].time)
+            state.events_processed += len(batch)
             for event in batch:
-                state.events_processed += 1
                 self._handle(event, state)
             if state.rebalance_pending:
                 self._rebalance(state)
@@ -236,8 +271,17 @@ class ClusterSimulator:
             state.peak_queue_length = max(state.peak_queue_length, len(state.queue))
             state.rebalance_pending = self._config.power_budget_w is not None
         elif isinstance(event, CompletionEvent):
+            # Keep the queue clock in lockstep with simulation time even
+            # between arrivals, so wait accounting never lags behind a
+            # completion-driven dispatch.
+            state.queue.advance_clock(event.time)
             state.completed.extend(event.jobs)
-            state.rebalance_pending = self._config.power_budget_w is not None
+            position = self._node_position[event.node_id]
+            heapq.heappush(state.free_nodes, position)
+            if self._config.power_budget_w is not None:
+                state.rebalance_pending = True
+                state.desired_w[position] = self._free_desired_w
+                state.power_dirty = True
         elif isinstance(event, (RepartitionEvent, PowerRebalanceEvent)):
             # Bookkeeping markers: the state change was applied when the
             # event was scheduled; popping them only records the timeline.
@@ -249,27 +293,31 @@ class ClusterSimulator:
     # Power budget
     # ------------------------------------------------------------------
     def _distribute(self, state: _RunState) -> dict[int, float]:
-        """Split the configured budget across nodes by their current demand."""
+        """Split the configured budget across nodes by their current demand.
+
+        The per-node demands live in preallocated arrays updated at dispatch
+        (the node's configured cap) and completion (back to the default
+        limit), so a rebalance does no per-node Python work at all.
+        """
         assert self._config.power_budget_w is not None
-        requests = []
-        for node in self._nodes:
-            busy = not node.is_free(state.clock.now)
-            desired = (
-                node.power_limit_w if busy else self._spec.default_power_limit_w
-            )
-            requests.append(
-                PowerRequest(
-                    node_id=node.node_id,
-                    desired_w=max(desired, self._spec.min_power_cap_w),
-                    minimum_w=self._spec.min_power_cap_w,
-                )
-            )
-        return dict(
-            self._power_manager.distribute(requests, self._config.power_budget_w)
+        assert state.desired_w is not None and state.minimum_w is not None
+        return self._power_manager.distribute_demands(
+            self._node_ids,
+            state.desired_w,
+            state.minimum_w,
+            self._config.power_budget_w,
+            minimum_total_w=state.minimum_total_w,
         )
 
     def _rebalance(self, state: _RunState) -> None:
-        state.shares = self._distribute(state)
+        # The rebalance is always recorded (counters and timeline events are
+        # part of the report's contract); only the budget split itself is
+        # skipped when no node changed busy state since the last split — the
+        # demands are unchanged, so redistribution would reproduce the same
+        # shares.
+        if state.power_dirty:
+            state.shares = self._distribute(state)
+            state.power_dirty = False
         state.rebalances += 1
         state.rebalance_pending = False
         state.heap.push(
@@ -296,11 +344,12 @@ class ClusterSimulator:
     # ------------------------------------------------------------------
     def _dispatch_free_nodes(self, state: _RunState) -> None:
         now = state.clock.now
-        for node in self._nodes:
-            if state.queue.empty:
-                return
-            if not node.is_free(now):
-                continue
+        free_nodes = state.free_nodes
+        while free_nodes and not state.queue.empty:
+            # Popping positions in ascending order reproduces the node-list
+            # scan order of the original O(nodes) loop exactly.
+            position = heapq.heappop(free_nodes)
+            node = self._nodes[position]
             plan = self._scheduler.plan_next(state.queue)
             plan = self._effective_plan(plan, node, state)
             start = now + self._repartition_delay(plan, node, state)
@@ -312,12 +361,22 @@ class ClusterSimulator:
             state.heap.push(
                 CompletionEvent(time=finish, node_id=node.node_id, jobs=plan.jobs)
             )
+            if self._config.power_budget_w is not None:
+                state.desired_w[position] = max(
+                    node.power_limit_w, self._spec.min_power_cap_w
+                )
+                state.power_dirty = True
 
     def _layout_signature(self, plan: DispatchPlan) -> tuple[int, ...]:
-        """The sorted GI-size multiset the plan's dispatch requires."""
+        """The sorted GI-size multiset the plan's dispatch requires (memoized)."""
         if plan.decision is None:
             return _EXCLUSIVE_LAYOUT
-        return tuple(sorted(plan.decision.state.gi_sizes(self._spec)))
+        partition = plan.decision.state
+        layout = self._layout_cache.get(partition)
+        if layout is None:
+            layout = tuple(sorted(partition.gi_sizes(self._spec)))
+            self._layout_cache[partition] = layout
+        return layout
 
     @staticmethod
     def _instance_changes(
@@ -362,11 +421,13 @@ class ClusterSimulator:
         per-change constant, so re-binding jobs onto an unchanged GI
         multiset is free and deeper re-partitions cost proportionally more.
         """
+        if self._config.repartition_latency_s == 0.0:
+            # Reconfiguration is free: skip the layout bookkeeping entirely
+            # (nothing downstream reads it when no delays are charged).
+            return 0.0
         layout = self._layout_signature(plan)
         previous = state.layouts.get(node.node_id)
         state.layouts[node.node_id] = layout
-        if self._config.repartition_latency_s == 0.0:
-            return 0.0
         changes = self._instance_changes(previous, layout)
         if changes == 0:
             return 0.0

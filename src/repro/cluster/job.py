@@ -22,6 +22,10 @@ class JobState(str, Enum):
     COMPLETED = "completed"
 
 
+#: Lifecycle order used to enforce forward-only transitions.
+_STATE_RANK = {state: rank for rank, state in enumerate(JobState)}
+
+
 @dataclass
 class Job:
     """One GPU job: a kernel plus scheduling metadata.
@@ -84,8 +88,7 @@ class Job:
 
     def transition(self, new_state: JobState) -> None:
         """Move the job to ``new_state`` (enforcing a forward-only lifecycle)."""
-        order = list(JobState)
-        if order.index(new_state) < order.index(self.state):
+        if _STATE_RANK[new_state] < _STATE_RANK[self.state]:
             raise SchedulingError(
                 f"job {self.job_id}: illegal transition {self.state.value} -> {new_state.value}"
             )

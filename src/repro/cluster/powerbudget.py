@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError, PowerCapError
 from repro.gpu.spec import A100_SPEC, GPUSpec
 
@@ -76,26 +78,59 @@ class ClusterPowerManager:
         """
         if not requests:
             return {}
+        return self.distribute_demands(
+            [r.node_id for r in requests],
+            np.array([r.desired_w for r in requests], dtype=np.float64),
+            np.array([r.minimum_w for r in requests], dtype=np.float64),
+            total_budget_w,
+        )
+
+    def distribute_demands(
+        self,
+        node_ids: Sequence[int],
+        desired_w: np.ndarray,
+        minimum_w: np.ndarray,
+        total_budget_w: float,
+        minimum_total_w: float | None = None,
+    ) -> dict[int, float]:
+        """Array-backed :meth:`distribute` over preallocated per-node demands.
+
+        ``desired_w``/``minimum_w`` are parallel float64 arrays in ``node_ids``
+        order; callers in a hot loop (the event simulator) mutate them in place
+        and pass ``minimum_total_w`` precomputed, so a rebalance allocates no
+        per-node Python objects.  Sums are accumulated sequentially over Python
+        floats (not ``np.sum``'s pairwise reduction), so the result is
+        bit-identical to the scalar request path for the same inputs.
+        """
+        if len(node_ids) == 0:
+            return {}
         if total_budget_w <= 0:
             raise ConfigurationError("the total power budget must be positive")
-        minimum_total = sum(r.minimum_w for r in requests)
+        if np.any(minimum_w <= 0) or np.any(desired_w < minimum_w):
+            raise ConfigurationError(
+                "power demands must be positive and desired >= minimum"
+            )
+        minimum_total = (
+            float(sum(minimum_w.tolist()))
+            if minimum_total_w is None
+            else minimum_total_w
+        )
         if minimum_total > total_budget_w:
             raise PowerCapError(
                 f"budget {total_budget_w} W cannot cover the minimum caps "
-                f"({minimum_total} W) of {len(requests)} nodes"
+                f"({minimum_total} W) of {len(node_ids)} nodes"
             )
-        allocation = {r.node_id: r.minimum_w for r in requests}
         remaining = total_budget_w - minimum_total
-        extra_demand = {r.node_id: r.desired_w - r.minimum_w for r in requests}
-        total_extra = sum(extra_demand.values())
+        extra_demand = desired_w - minimum_w
+        total_extra = float(sum(extra_demand.tolist()))
         if total_extra > 0:
             scale = min(1.0, remaining / total_extra)
-            for r in requests:
-                allocation[r.node_id] += extra_demand[r.node_id] * scale
+            allocation = minimum_w + extra_demand * scale
+        else:
+            allocation = minimum_w.copy()
         # Clamp to the device's supported range.
-        for node_id in allocation:
-            allocation[node_id] = min(allocation[node_id], self._spec.max_power_cap_w)
-        return allocation
+        np.minimum(allocation, self._spec.max_power_cap_w, out=allocation)
+        return dict(zip(node_ids, allocation.tolist()))
 
     def headroom(
         self,

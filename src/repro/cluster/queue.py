@@ -21,6 +21,7 @@ class JobQueue:
         self._jobs: list[Job] = []
         self._next_id = 0
         self._clock = 0.0
+        self._version = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -38,6 +39,17 @@ class JobQueue:
     def clock(self) -> float:
         """The queue's current notion of time (latest accepted timestamp)."""
         return self._clock
+
+    @property
+    def version(self) -> int:
+        """Counter bumped on every content mutation (submit/remove).
+
+        Consumers that memoize work derived from the queue's content (the
+        co-scheduler's dispatch-plan cache) invalidate on a version change;
+        clock advances leave the content — and therefore the version —
+        untouched.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     def submit(self, kernel: KernelCharacteristics, submit_time: float | None = None) -> Job:
@@ -63,6 +75,7 @@ class JobQueue:
         self._jobs.append(job)
         self._next_id += 1
         self._clock = when
+        self._version += 1
         return job
 
     def submit_all(self, kernels: Iterable[KernelCharacteristics]) -> list[Job]:
@@ -90,10 +103,13 @@ class JobQueue:
 
     def remove(self, job: Job) -> None:
         """Remove a specific job from the queue (it is being dispatched)."""
-        try:
-            self._jobs.remove(job)
-        except ValueError:
-            raise SchedulingError(f"job {job.job_id} is not in the queue") from None
+        jobs = self._jobs
+        for index, queued in enumerate(jobs):
+            if queued is job:
+                del jobs[index]
+                self._version += 1
+                return
+        raise SchedulingError(f"job {job.job_id} is not in the queue")
 
     def pop(self) -> Job:
         """Remove and return the head job."""

@@ -8,11 +8,24 @@ allows more than two jobs the pair is greedily extended with further window
 jobs for as long as doing so improves the predicted objective.  Jobs whose
 application has never been profiled run exclusively first (the paper's
 profile-run rule).
+
+Planning is memoized: the plan depends only on the *content* of the
+look-ahead window (application names and their profiled status) and on the
+trained model, so an LRU cache keyed on that signature answers repeated
+window shapes — ubiquitous in a long trace over a bounded application set —
+without re-evaluating the candidate grid (the same ``OrderedDict`` LRU
+idiom as the allocator's :class:`~repro.core.optimizer.DecisionCache`).
+Cached plans store window *positions* rather than job objects, so a hit is
+rebuilt against the live queue; queue mutations invalidate naturally
+because the window signature changes (and the queue's ``version`` counter
+guards the degenerate repeated-call case explicitly).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Hashable
 
 from repro.cluster.job import Job, JobState
 from repro.cluster.node import ComputeNode
@@ -83,6 +96,97 @@ class DispatchPlan:
     reason: str
 
 
+@dataclass(frozen=True)
+class _CachedPlan:
+    """A memoized planning outcome, stored by window position.
+
+    ``positions`` indexes into the look-ahead window the plan was computed
+    for; rebuilding against the live window re-binds the (frozen) decision
+    and reason to the job objects currently occupying those positions.
+    """
+
+    positions: tuple[int, ...]
+    decision: AllocationDecision | None
+    reason: str
+
+    def rebuild(self, window: tuple[Job, ...]) -> DispatchPlan:
+        return DispatchPlan(
+            jobs=tuple(window[i] for i in self.positions),
+            decision=self.decision,
+            reason=self.reason,
+        )
+
+
+class PlanCache:
+    """A small LRU cache of memoized dispatch plans."""
+
+    def __init__(self, maxsize: int = 8192) -> None:
+        if maxsize < 0:
+            raise ConfigurationError(f"cache maxsize must be >= 0, got {maxsize}")
+        self._maxsize = maxsize
+        self._entries: OrderedDict[Hashable, _CachedPlan] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def maxsize(self) -> int:
+        """Capacity of the cache (0 disables plan memoization)."""
+        return self._maxsize
+
+    def get(self, key: Hashable) -> _CachedPlan | None:
+        """Look up ``key``, refreshing its recency on a hit."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, entry: _CachedPlan) -> None:
+        """Insert ``key``, evicting the least recently used entry if full."""
+        if self._maxsize == 0:
+            return
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class SchedulerStats:
+    """Planning/dispatch counters of one :class:`CoScheduler` instance.
+
+    ``plans_requested`` counts every :meth:`CoScheduler.plan_next` call (the
+    "decisions" of the benchmark trajectory); ``plans_computed`` the subset
+    that evaluated the candidate grid; ``plan_cache_hits`` the subset
+    answered from the memo; ``dispatches`` executed plans.
+    """
+
+    plans_requested: int = 0
+    plans_computed: int = 0
+    plan_cache_hits: int = 0
+    dispatches: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (handy for logs and benchmark artifacts)."""
+        return {
+            "plans_requested": self.plans_requested,
+            "plans_computed": self.plans_computed,
+            "plan_cache_hits": self.plan_cache_hits,
+            "dispatches": self.dispatches,
+        }
+
+
 class CoScheduler:
     """Group selection and dispatch driven by the allocator's predictions."""
 
@@ -90,10 +194,22 @@ class CoScheduler:
         self,
         allocator: OnlineAllocator,
         config: SchedulerConfig | None = None,
+        plan_cache_size: int = 8192,
     ) -> None:
         self._allocator = allocator
         self._config = config if config is not None else SchedulerConfig()
         self._last_result: CoRunResult | None = None
+        self._plan_cache = PlanCache(plan_cache_size)
+        # Pair decisions keyed (head, candidate, model version); the policy
+        # is fixed per scheduler (see _policy), so it is not part of the
+        # key.  None records an infeasible pairing.
+        self._pair_cache: dict[
+            tuple[str, str, int], AllocationDecision | None
+        ] = {}
+        self._policy_cache: Policy | None = None
+        self._last_queue_state: tuple[int, int, int] | None = None
+        self._last_plan: DispatchPlan | None = None
+        self.stats = SchedulerStats()
 
     def _validate_policy_against_model(self) -> None:
         """Fail loudly when the configured policy caps are off the model's grid.
@@ -137,19 +253,44 @@ class CoScheduler:
         """
         return self._last_result
 
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The memoized-plan cache (hit/miss counters for observability)."""
+        return self._plan_cache
+
+    def invalidate_plan_cache(self) -> None:
+        """Drop every memoized plan.
+
+        Queue mutations and model refits invalidate implicitly (the window
+        signature and model version are part of the cache key); this is the
+        explicit escape hatch for out-of-band changes such as editing the
+        profile database directly.
+        """
+        self._plan_cache.clear()
+        self._pair_cache.clear()
+        self._last_plan = None
+        self._last_queue_state = None
+
     # ------------------------------------------------------------------
     def _policy(self) -> Policy:
         # Problem 2 may only choose caps the allocator's model was trained
         # for, so follow the allocator's grid instead of the global default.
-        return make_policy(
-            self._config.policy_name,
-            self._config.alpha,
-            power_cap_w=self._config.power_cap_w,
-            power_caps=self._allocator.allocator.power_caps,
-        )
+        # Policies are frozen and the allocator's grid never changes, so
+        # one instance serves every plan.
+        if self._policy_cache is None:
+            self._policy_cache = make_policy(
+                self._config.policy_name,
+                self._config.alpha,
+                power_cap_w=self._config.power_cap_w,
+                power_caps=self._allocator.allocator.power_caps,
+            )
+        return self._policy_cache
 
     def _is_profiled(self, job: Job) -> bool:
         return self._allocator.database.has(job.name)
+
+    def _model_version(self) -> int:
+        return self._allocator.allocator.model.coefficients_version
 
     # ------------------------------------------------------------------
     def plan_next(self, queue: JobQueue) -> DispatchPlan:
@@ -161,44 +302,84 @@ class CoScheduler:
         * a co-location group (pair, greedily grown up to ``group_size``)
           plus the allocator's decision,
         * or a single job to run alone when grouping is impossible.
+
+        Planning is memoized on the look-ahead window's content signature
+        (names + profiled status) and the model version; repeated window
+        shapes skip the candidate-grid evaluation entirely.
         """
         if queue.empty:
             raise SchedulingError("cannot plan: the job queue is empty")
+        self.stats.plans_requested += 1
+        queue_state = (id(queue), queue.version, self._model_version())
+        if self._last_plan is not None and self._last_queue_state == queue_state:
+            # Re-planning an unmutated queue: the previous plan still holds.
+            self.stats.plan_cache_hits += 1
+            return self._last_plan
+        window = queue.window(self._config.window_size)
+        has_profile = self._allocator.database.has
+        signature = tuple((job.name, has_profile(job.name)) for job in window)
+        key = (signature, queue_state[2])
+        cached = self._plan_cache.get(key)
+        if cached is None:
+            cached = self._compute_plan(window)
+            self._plan_cache.put(key, cached)
+            self.stats.plans_computed += 1
+        else:
+            self.stats.plan_cache_hits += 1
+        plan = cached.rebuild(window)
+        self._last_queue_state = queue_state
+        self._last_plan = plan
+        return plan
+
+    def _compute_plan(self, window: tuple[Job, ...]) -> _CachedPlan:
+        """Evaluate the candidate grid for one window shape (cache miss path)."""
         self._validate_policy_against_model()
-        head = queue.peek()
+        head = window[0]
         if not self._is_profiled(head):
-            return DispatchPlan(jobs=(head,), decision=None, reason="profile run")
+            return _CachedPlan(positions=(0,), decision=None, reason="profile run")
         if self._config.group_size == 1:
             # One job per GPU: co-location is disabled by configuration.
-            return DispatchPlan(
-                jobs=(head,), decision=None, reason="exclusive run (group_size=1)"
+            return _CachedPlan(
+                positions=(0,), decision=None, reason="exclusive run (group_size=1)"
             )
 
         policy = self._policy()
-        window = queue.window(self._config.window_size)
+        has_profile = self._allocator.database.has
         candidates = [
-            job
-            for job in window
-            if job.job_id != head.job_id and self._is_profiled(job)
+            (position, job)
+            for position, job in enumerate(window)
+            if position > 0 and has_profile(job.name)
         ]
 
-        best_plan: DispatchPlan | None = None
+        best_plan: _CachedPlan | None = None
         best_objective = float("-inf")
-        for candidate in candidates:
-            try:
-                decision = self._allocator.decide([head.name, candidate.name], policy)
-            except InfeasibleProblemError:
+        head_name = head.name
+        version = self._model_version()
+        pair_cache = self._pair_cache
+        for position, candidate in candidates:
+            pair_key = (head_name, candidate.name, version)
+            if pair_key in pair_cache:
+                decision = pair_cache[pair_key]
+            else:
+                try:
+                    decision = self._allocator.decide(
+                        [head_name, candidate.name], policy
+                    )
+                except InfeasibleProblemError:
+                    decision = None
+                pair_cache[pair_key] = decision
+            if decision is None:
                 continue
             if decision.predicted_objective > best_objective:
                 best_objective = decision.predicted_objective
-                best_plan = DispatchPlan(
-                    jobs=(head, candidate),
+                best_plan = _CachedPlan(
+                    positions=(0, position),
                     decision=decision,
                     reason=f"co-schedule via {policy.name}",
                 )
         if best_plan is not None and self._config.group_size > 2:
             best_plan, best_objective = self._grow_group(
-                best_plan, best_objective, candidates, policy
+                best_plan, best_objective, candidates, policy, window
             )
         if best_plan is not None:
             return best_plan
@@ -207,15 +388,16 @@ class CoScheduler:
                 f"no feasible co-location partner found for job {head.job_id} "
                 "and solo execution is disabled"
             )
-        return DispatchPlan(jobs=(head,), decision=None, reason="no feasible partner")
+        return _CachedPlan(positions=(0,), decision=None, reason="no feasible partner")
 
     def _grow_group(
         self,
-        plan: DispatchPlan,
+        plan: _CachedPlan,
         objective: float,
-        candidates: list[Job],
+        candidates: list[tuple[int, Job]],
         policy: Policy,
-    ) -> tuple[DispatchPlan, float]:
+        window: tuple[Job, ...],
+    ) -> tuple[_CachedPlan, float]:
         """Greedily extend a pair with window jobs while the objective improves.
 
         Each round tries every remaining profiled window job as the next
@@ -225,24 +407,24 @@ class CoScheduler:
         for — the state/cap inside each trial is still solved exactly by
         the allocator).
         """
-        while len(plan.jobs) < self._config.group_size:
-            members = {job.job_id for job in plan.jobs}
-            best_extension: DispatchPlan | None = None
+        while len(plan.positions) < self._config.group_size:
+            members = set(plan.positions)
+            best_extension: _CachedPlan | None = None
             best_extension_objective = objective
-            for candidate in candidates:
-                if candidate.job_id in members:
+            for position, candidate in candidates:
+                if position in members:
                     continue
-                names = [job.name for job in plan.jobs] + [candidate.name]
+                names = [window[i].name for i in plan.positions] + [candidate.name]
                 try:
                     decision = self._allocator.decide(names, policy)
                 except InfeasibleProblemError:
                     continue
                 if decision.predicted_objective > best_extension_objective:
                     best_extension_objective = decision.predicted_objective
-                    best_extension = DispatchPlan(
-                        jobs=plan.jobs + (candidate,),
+                    best_extension = _CachedPlan(
+                        positions=plan.positions + (position,),
                         decision=decision,
-                        reason=f"co-schedule {len(plan.jobs) + 1} jobs via {policy.name}",
+                        reason=f"co-schedule {len(plan.positions) + 1} jobs via {policy.name}",
                     )
             if best_extension is None:
                 break
@@ -267,6 +449,7 @@ class CoScheduler:
             raise SchedulingError(
                 f"node {node.node_id} is busy until t={node.busy_until:.2f}"
             )
+        self.stats.dispatches += 1
         for job in plan.jobs:
             queue.remove(job)
             job.start_time = time
@@ -291,14 +474,15 @@ class CoScheduler:
             result = node.execute_group(kernels, decision.state, decision.power_cap_w)
             self._last_result = result
             finish = time
+            described = decision.state.describe()
             for job, run in zip(plan.jobs, result.per_app):
                 job.transition(JobState.RUNNING)
                 others = tuple(j.job_id for j in plan.jobs if j is not job)
                 job.co_runner = others[0]
                 job.co_runners = others
-                job.assigned_device = f"node{node.node_id}-{decision.state.describe()}-app{run.app_index}"
+                job.assigned_device = f"node{node.node_id}-{described}-app{run.app_index}"
                 job.mark(
-                    f"co-run on {decision.state.describe()} @ {decision.power_cap_w:.0f}W "
+                    f"co-run on {described} @ {decision.power_cap_w:.0f}W "
                     f"(RPerf={run.relative_performance:.3f})"
                 )
                 job.finish_time = time + run.elapsed_s

@@ -41,7 +41,7 @@ class DecisionCache:
     to share between callers.
     """
 
-    def __init__(self, maxsize: int = 128) -> None:
+    def __init__(self, maxsize: int = 4096) -> None:
         if maxsize < 0:
             raise OptimizationError(f"cache maxsize must be >= 0, got {maxsize}")
         self._maxsize = maxsize
@@ -118,7 +118,7 @@ class ResourcePowerAllocator:
         candidate_states: Sequence[PartitionState] = CORUN_STATES,
         power_caps: Sequence[float] = DEFAULT_POWER_CAPS,
         search: SearchStrategy | None = None,
-        cache_size: int = 128,
+        cache_size: int = 4096,
         batch_threshold: int = 24,
     ) -> None:
         if not candidate_states:

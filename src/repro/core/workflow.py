@@ -15,6 +15,7 @@ in a few lines.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -286,6 +287,10 @@ class OnlineAllocator:
         self._spec = spec
         self._model = model
         self._state_cache: dict[tuple, tuple[PartitionState, ...]] = {}
+        self._decide_cache: OrderedDict[tuple, AllocationDecision] = OrderedDict()
+        # Policy signature memo keyed by object identity (policies are
+        # frozen); the stored reference keeps the id from being recycled.
+        self._policy_keys: dict[int, tuple[Policy, tuple]] = {}
         self._allocator = ResourcePowerAllocator(
             model,
             candidate_states=candidate_states,
@@ -365,7 +370,32 @@ class OnlineAllocator:
         Every application must already have a profile in the database.  The
         group may have any size; see :meth:`candidate_states_for` for how
         the candidate space is chosen.
+
+        Decisions are memoized on (group names, policy, model version):
+        profiles are append-only (a name's counters never change once
+        stored), so the full lookup — counters, candidate states, and the
+        allocator's solve — is a pure function of that key.
         """
+        entry = self._policy_keys.get(id(policy))
+        if entry is not None and entry[0] is policy:
+            policy_key = entry[1]
+        else:
+            policy_key = (
+                type(policy).__name__,
+                policy.name,
+                float(policy.alpha),
+                tuple(policy.candidate_power_caps()),
+            )
+            self._policy_keys[id(policy)] = (policy, policy_key)
+        decide_key = (
+            tuple(app_names),
+            policy_key,
+            self._model.coefficients_version,
+        )
+        cached = self._decide_cache.get(decide_key)
+        if cached is not None:
+            self._decide_cache.move_to_end(decide_key)
+            return cached
         counters = [self._database.get(name).counters for name in app_names]
         policy_caps = policy.candidate_power_caps()
         states = self.candidate_states_for(len(app_names), policy_caps)
@@ -383,7 +413,11 @@ class OnlineAllocator:
                 f"{len(app_names)} application(s) on {self._spec.name}; train with "
                 f"TrainingPlan.for_spec(spec) to cover the full instance-size grid"
             )
-        return self._allocator.solve(counters, policy, states=states)
+        decision = self._allocator.solve(counters, policy, states=states)
+        self._decide_cache[decide_key] = decision
+        if len(self._decide_cache) > 4096:
+            self._decide_cache.popitem(last=False)
+        return decision
 
 
 class PaperWorkflow:

@@ -358,6 +358,9 @@ class PartitionState:
         e.g. ``"1GPCs@g0-1GPCs@g0-2GPCs@g1/Mixed"``, so two states that
         differ only in job allocation stay distinguishable.
         """
+        cached = self.__dict__.get("_describe_cache")
+        if cached is not None:
+            return cached
         if self.option is MemoryOption.MIXED:
             assert self.gi_groups is not None
             gpcs = "-".join(
@@ -367,15 +370,23 @@ class PartitionState:
         else:
             gpcs = "-".join(f"{g}GPCs" for g in self.gpc_allocations)
         name = f"{gpcs}/{self.option.value.capitalize()}"
-        if self.label:
-            return f"{self.label}({name})"
-        return name
+        described = f"{self.label}({name})" if self.label else name
+        # Frozen dataclasses still allow memo attributes via object.__setattr__;
+        # every field is immutable, so the rendering can never go stale.
+        object.__setattr__(self, "_describe_cache", described)
+        return described
 
     def key(self) -> tuple:
         """Hashable identity ignoring the label (used as model dictionary key)."""
+        cached = self.__dict__.get("_key_cache")
+        if cached is not None:
+            return cached
         if self.gi_groups is not None:
-            return (self.gpc_allocations, self.option.value, self.gi_groups)
-        return (self.gpc_allocations, self.option.value)
+            cached = (self.gpc_allocations, self.option.value, self.gi_groups)
+        else:
+            cached = (self.gpc_allocations, self.option.value)
+        object.__setattr__(self, "_key_cache", cached)
+        return cached
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.describe()

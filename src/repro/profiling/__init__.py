@@ -11,10 +11,19 @@ becomes eligible for co-scheduling.
   (stand-in for Nsight Compute).
 * :mod:`repro.profiling.database` — a small JSON-backed profile store, the
   "Database" box of Figure 1.
+* :mod:`repro.profiling.hotspots` — cProfile-backed hot-spot reporting
+  for the event-driven simulator (``repro-cli simulate --profile``).
 """
 
 from repro.profiling.database import ProfileDatabase
+from repro.profiling.hotspots import HotSpot, HotspotProfiler
 from repro.profiling.profiler import ProfileCollector
 from repro.profiling.records import ProfileRecord
 
-__all__ = ["ProfileRecord", "ProfileCollector", "ProfileDatabase"]
+__all__ = [
+    "ProfileRecord",
+    "ProfileCollector",
+    "ProfileDatabase",
+    "HotSpot",
+    "HotspotProfiler",
+]

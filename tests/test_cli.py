@@ -123,6 +123,26 @@ class TestSimulate:
         assert code == 2
         assert "error" in text.lower()
 
+    def test_profile_appends_hotspot_report(self):
+        code, text = run_cli(
+            ["simulate", "--arrival-rate", "2.0", "--duration", "10",
+             "--nodes", "1", "--jobs", "10", "--profile", "5"]
+        )
+        assert code == 0
+        # The normal report still renders, followed by the profile table.
+        assert "node(s)" in text
+        assert "top 5 call sites by cumulative time" in text
+        assert "cumulative[s]" in text
+        # The simulator's event loop must show up among the hot spots.
+        assert "run" in text
+
+    def test_profile_conflicts_with_json(self):
+        code, text = run_cli(
+            ["simulate", "--duration", "5", "--jobs", "2", "--profile", "--json"]
+        )
+        assert code == 2
+        assert "--profile cannot be combined with --json" in text
+
     def test_mix_selects_application_population(self):
         code, text = run_cli(
             ["simulate", "--arrival-rate", "3.0", "--duration", "10",

@@ -106,6 +106,58 @@ class TestEventHeap:
         assert len(heap) == 1
         assert heap.peek_time() == pytest.approx(2.0)
 
+    def test_pop_batch_drains_interleaved_ties_in_push_order(self):
+        # Regression for the tuple-keyed heap: a batch must contain every
+        # event at the head timestamp — including ties pushed before and
+        # after events at other times — ordered by (priority, push order).
+        heap = EventHeap()
+        heap.push(_arrival(1.0, "stream"))
+        heap.push(_arrival(2.0, "tf32gemm"))
+        heap.push(_arrival(1.0, "dgemm"))
+        heap.push(CompletionEvent(time=1.0, node_id=3, jobs=()))
+        heap.push(_arrival(1.0, "hgemm"))
+        batch = heap.pop_batch()
+        assert len(batch) == 4
+        assert all(event.time == 1.0 for event in batch)
+        # Completion outranks arrivals at the same time; arrivals keep
+        # their submission order among themselves.
+        assert type(batch[0]).__name__ == "CompletionEvent"
+        assert [event.entry.app for event in batch[1:]] == [
+            "stream",
+            "dgemm",
+            "hgemm",
+        ]
+        # The later timestamp is untouched and becomes the next batch.
+        assert [event.entry.app for event in heap.pop_batch()] == ["tf32gemm"]
+        assert heap.empty
+
+    def test_push_many_matches_sequential_pushes(self):
+        events = [
+            _arrival(float(i % 5), app)
+            for i, app in enumerate(
+                ["stream", "dgemm", "hgemm", "stream", "dgemm", "hgemm", "stream"]
+            )
+        ]
+        one_by_one = EventHeap()
+        for event in events:
+            one_by_one.push(event)
+        bulk = EventHeap()
+        bulk.push_many(events)
+        assert len(bulk) == len(one_by_one)
+        while not one_by_one.empty:
+            assert bulk.pop() is one_by_one.pop()
+        assert bulk.empty
+
+    def test_push_many_then_push_keeps_sequence_order(self):
+        heap = EventHeap()
+        heap.push_many([_arrival(1.0, "stream"), _arrival(1.0, "dgemm")])
+        heap.push(_arrival(1.0, "hgemm"))
+        assert [heap.pop().entry.app for _ in range(3)] == [
+            "stream",
+            "dgemm",
+            "hgemm",
+        ]
+
     def test_empty_heap_rejects_pop_and_peek(self):
         heap = EventHeap()
         assert heap.empty

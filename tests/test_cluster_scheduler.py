@@ -221,6 +221,90 @@ class TestSchedulerConfigValidation:
             SchedulerConfig(alpha=-0.1)
 
 
+class TestPlanMemoization:
+    def _scheduler(self, workflow, **kwargs):
+        config = SchedulerConfig(
+            policy_name="problem1", power_cap_w=250.0, alpha=0.2, window_size=4
+        )
+        return CoScheduler(workflow.online, config, **kwargs)
+
+    def _pair_queue(self):
+        queue = JobQueue()
+        queue.submit(DEFAULT_SUITE.get("igemm4"))
+        queue.submit(DEFAULT_SUITE.get("stream"))
+        return queue
+
+    def test_identical_window_reuses_the_cached_plan(self, workflow):
+        scheduler = self._scheduler(workflow)
+        first = scheduler.plan_next(self._pair_queue())
+        second_queue = self._pair_queue()
+        second = scheduler.plan_next(second_queue)
+        assert scheduler.stats.plans_requested == 2
+        assert scheduler.stats.plans_computed == 1
+        assert scheduler.stats.plan_cache_hits == 1
+        # Same decision object, re-bound to the live queue's job objects.
+        assert second.decision is first.decision
+        assert second.reason == first.reason
+        assert [job.name for job in second.jobs] == [job.name for job in first.jobs]
+        assert all(job in list(second_queue) for job in second.jobs)
+
+    def test_repeated_plan_on_unchanged_queue_is_free(self, workflow):
+        scheduler = self._scheduler(workflow)
+        queue = self._pair_queue()
+        first = scheduler.plan_next(queue)
+        second = scheduler.plan_next(queue)
+        assert second.jobs == first.jobs
+        assert second.decision is first.decision
+        # The unchanged-queue fast path answers without touching the LRU.
+        assert scheduler.stats.plans_computed == 1
+        assert scheduler.plan_cache.misses == 1
+
+    def test_queue_mutation_invalidates_the_fast_path(self, workflow):
+        scheduler = self._scheduler(workflow)
+        queue = self._pair_queue()
+        plan = scheduler.plan_next(queue)
+        for job in plan.jobs:
+            queue.remove(job)
+        queue.submit(DEFAULT_SUITE.get("dgemm"))
+        replanned = scheduler.plan_next(queue)
+        assert [job.name for job in replanned.jobs] == ["dgemm"]
+
+    def test_cache_size_zero_recomputes_every_plan(self, workflow):
+        scheduler = self._scheduler(workflow, plan_cache_size=0)
+        scheduler.plan_next(self._pair_queue())
+        scheduler.plan_next(self._pair_queue())
+        assert scheduler.stats.plans_computed == 2
+        assert scheduler.stats.plan_cache_hits == 0
+
+    def test_invalidate_plan_cache_forces_recompute(self, workflow):
+        scheduler = self._scheduler(workflow)
+        queue = self._pair_queue()
+        scheduler.plan_next(queue)
+        scheduler.invalidate_plan_cache()
+        assert len(scheduler.plan_cache) == 0
+        scheduler.plan_next(queue)
+        assert scheduler.stats.plans_computed == 2
+
+    def test_negative_cache_size_rejected(self, workflow):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            self._scheduler(workflow, plan_cache_size=-1)
+
+    def test_stats_as_dict_roundtrip(self, workflow, node):
+        scheduler = self._scheduler(workflow)
+        queue = self._pair_queue()
+        plan = scheduler.plan_next(queue)
+        scheduler.dispatch(plan, queue, node, time=0.0)
+        stats = scheduler.stats.as_dict()
+        assert stats == {
+            "plans_requested": 1,
+            "plans_computed": 1,
+            "plan_cache_hits": 0,
+            "dispatches": 1,
+        }
+
+
 class TestGroupSizeOne:
     def test_group_size_one_disables_co_location(self, workflow, node):
         """group_size=1 means one job per GPU: no pairing ever happens."""

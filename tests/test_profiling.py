@@ -147,3 +147,45 @@ class TestProfileDatabase:
         data = json.loads(path.read_text())
         assert data["format"] == "repro-profile-database"
         assert len(data["profiles"]) == 1
+
+
+class TestHotspotProfiler:
+    def test_profiled_block_shows_up_in_hotspots(self):
+        from repro.profiling import HotspotProfiler
+
+        def busy_work():
+            return sum(i * i for i in range(20_000))
+
+        profiler = HotspotProfiler()
+        with profiler:
+            busy_work()
+        spots = profiler.hotspots(top=10)
+        assert spots
+        assert any("busy_work" in spot.location for spot in spots)
+        # Heaviest first, and every row carries sane counters.
+        cumulative = [spot.cumulative_time_s for spot in spots]
+        assert cumulative == sorted(cumulative, reverse=True)
+        assert all(spot.calls >= 1 for spot in spots)
+
+    def test_report_renders_a_table(self):
+        from repro.profiling import HotspotProfiler
+
+        profiler = HotspotProfiler()
+        with profiler:
+            sorted(range(1000), key=lambda x: -x)
+        report = profiler.report(top=3)
+        lines = report.splitlines()
+        assert "cumulative[s]" in lines[0]
+        assert len(lines) <= 4
+
+    def test_report_before_profiling_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.profiling import HotspotProfiler
+
+        profiler = HotspotProfiler()
+        with pytest.raises(ConfigurationError):
+            profiler.report()
+        with profiler:
+            pass
+        with pytest.raises(ConfigurationError):
+            profiler.hotspots(top=0)
