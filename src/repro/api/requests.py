@@ -59,7 +59,8 @@ class DecisionRequest:
     alpha:
         Fairness threshold for either policy.
     spec:
-        Hardware specification name (``"a100"``, ``"h100"``, ``"a30"``).
+        Hardware specification name (``"a100"``, ``"h100"``, ``"a30"``,
+        or the independent-axes ``"mi300x"``).
     model_path:
         Optional model-cache file: load trained coefficients from it if it
         exists, otherwise train once and save them there.

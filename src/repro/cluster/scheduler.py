@@ -23,6 +23,7 @@ guards the degenerate repeated-call case explicitly).
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
@@ -207,7 +208,11 @@ class CoScheduler:
             tuple[str, str, int], AllocationDecision | None
         ] = {}
         self._policy_cache: Policy | None = None
-        self._last_queue_state: tuple[int, int, int] | None = None
+        # The re-plan fast path must prove it is looking at the *same live*
+        # queue object, not a new queue allocated at a recycled address —
+        # hence a weakref, not id(): a dead queue can never alias a fresh one.
+        self._last_queue: weakref.ref[JobQueue] | None = None
+        self._last_queue_state: tuple[int, int] | None = None
         self._last_plan: DispatchPlan | None = None
         self.stats = SchedulerStats()
 
@@ -269,6 +274,7 @@ class CoScheduler:
         self._plan_cache.clear()
         self._pair_cache.clear()
         self._last_plan = None
+        self._last_queue = None
         self._last_queue_state = None
 
     # ------------------------------------------------------------------
@@ -310,15 +316,20 @@ class CoScheduler:
         if queue.empty:
             raise SchedulingError("cannot plan: the job queue is empty")
         self.stats.plans_requested += 1
-        queue_state = (id(queue), queue.version, self._model_version())
-        if self._last_plan is not None and self._last_queue_state == queue_state:
+        queue_state = (queue.version, self._model_version())
+        if (
+            self._last_plan is not None
+            and self._last_queue is not None
+            and self._last_queue() is queue
+            and self._last_queue_state == queue_state
+        ):
             # Re-planning an unmutated queue: the previous plan still holds.
             self.stats.plan_cache_hits += 1
             return self._last_plan
         window = queue.window(self._config.window_size)
         has_profile = self._allocator.database.has
         signature = tuple((job.name, has_profile(job.name)) for job in window)
-        key = (signature, queue_state[2])
+        key = (signature, queue_state[1])
         cached = self._plan_cache.get(key)
         if cached is None:
             cached = self._compute_plan(window)
@@ -327,6 +338,7 @@ class CoScheduler:
         else:
             self.stats.plan_cache_hits += 1
         plan = cached.rebuild(window)
+        self._last_queue = weakref.ref(queue)
         self._last_queue_state = queue_state
         self._last_plan = plan
         return plan
@@ -405,9 +417,16 @@ class CoScheduler:
         stops at ``group_size`` members or when no extension helps (the
         heuristic search over group composition the paper's Section 6 calls
         for — the state/cap inside each trial is still solved exactly by
-        the allocator).
+        the allocator).  ``group_size`` is additionally clamped to the
+        spec's partition-scheme co-location ceiling, so a configuration
+        tuned for one vendor never asks another for more instances than
+        its scheme can realize.
         """
-        while len(plan.positions) < self._config.group_size:
+        spec = self._allocator.allocator.model.spec
+        max_members = min(
+            self._config.group_size, spec.scheme.max_co_located(spec)
+        )
+        while len(plan.positions) < max_members:
             members = set(plan.positions)
             best_extension: _CachedPlan | None = None
             best_extension_objective = objective

@@ -48,9 +48,11 @@ it first converts them with two hand-designed basis functions:
   pool clips (the 1-GPC/2-slice GI saturates long before the co-runner's
   raw DRAM counter does); the saturating servable fraction ``σ``
   (:func:`servable_fraction`), the saturating ``P1``, and the hinge ``P2``
-  give the fitted coefficients exactly that bend.  Full-chip shared and
-  private keys never see these terms, keeping the pair-era model
-  bit-identical.
+  give the fitted coefficients exactly that bend.  Private keys never see
+  these terms, and full-chip shared keys only see them through the
+  separately-fitted N≥3 *composition* correction evaluated at ``q = 1``
+  (the full chip is the largest pool) — pair predictions stay
+  bit-identical to the pair-era model either way.
 
 The paper notes that the manual choice of counters and basis functions is a
 limitation; :data:`RAW_COUNTER_BASIS` exists so that the ablation benchmark

@@ -139,11 +139,14 @@ class LinearPerfModel:
         self._spec = spec
         self._scalability: dict[HardwareStateKey, np.ndarray] = {}
         self._interference: dict[HardwareStateKey, np.ndarray] = {}
+        self._composition: dict[HardwareStateKey, np.ndarray] = {}
         self._coefficients_version = 0
         self._gather_cache: dict[
             tuple,
             tuple[
                 np.ndarray,
+                np.ndarray | None,
+                np.ndarray | None,
                 np.ndarray | None,
                 np.ndarray | None,
                 np.ndarray | None,
@@ -192,6 +195,10 @@ class LinearPerfModel:
         """Hardware states with a fitted interference term."""
         return tuple(sorted(self._interference, key=HardwareStateKey.sort_key))
 
+    def fitted_composition_states(self) -> tuple[HardwareStateKey, ...]:
+        """Full-chip shared states with a fitted composition correction."""
+        return tuple(sorted(self._composition, key=HardwareStateKey.sort_key))
+
     def has_scalability(self, key: HardwareStateKey) -> bool:
         """Whether a scalability coefficient vector exists for ``key``."""
         return key in self._scalability
@@ -199,6 +206,10 @@ class LinearPerfModel:
     def has_interference(self, key: HardwareStateKey) -> bool:
         """Whether an interference coefficient vector exists for ``key``."""
         return key in self._interference
+
+    def has_composition(self, key: HardwareStateKey) -> bool:
+        """Whether a composition coefficient vector exists for ``key``."""
+        return key in self._composition
 
     def scalability_coefficients(self, key: HardwareStateKey) -> np.ndarray:
         """The fitted ``C`` vector for ``key`` (copy)."""
@@ -212,6 +223,14 @@ class LinearPerfModel:
                 f"no interference coefficients fitted for state {key.describe()}"
             )
         return self._interference[key].copy()
+
+    def composition_coefficients(self, key: HardwareStateKey) -> np.ndarray:
+        """The fitted composition ``E`` vector for ``key`` (copy)."""
+        if key not in self._composition:
+            raise NotFittedError(
+                f"no composition coefficients fitted for state {key.describe()}"
+            )
+        return self._composition[key].copy()
 
     # ------------------------------------------------------------------
     # Coefficient installation (used by the trainer and by persistence)
@@ -246,6 +265,35 @@ class LinearPerfModel:
                 f"({expected},), got {coefficients.shape}"
             )
         self._interference[key] = coefficients.copy()
+        self._coefficients_version += 1
+
+    def set_composition_coefficients(
+        self, key: HardwareStateKey, coefficients: np.ndarray
+    ) -> None:
+        """Install the composition ``E`` vector for one full-chip shared state.
+
+        The composition correction applies the capacity-aware saturating
+        basis of key schema v3 at the *full-chip* pool (``q = 1``): when
+        three or more applications share the chip's LLC/HBM, the plain
+        additive per-co-runner ``J`` terms (pair-fitted) systematically
+        overshoot because the pool clips.  The ``E`` vector holds the
+        servable-fraction-scaled ``H`` block followed by the two pool
+        terms — the same layout the sub-chip keys append to ``D`` — fitted
+        on N≥3 shared measurements only, so pair predictions never move.
+        """
+        if key.option is not MemoryOption.SHARED or self.is_sub_chip_shared(key):
+            raise ModelError(
+                f"composition coefficients only apply to full-chip shared "
+                f"states, not {key.describe()}"
+            )
+        coefficients = np.asarray(coefficients, dtype=float)
+        expected = self._basis.h_dim + POOL_TERM_DIM
+        if coefficients.shape != (expected,):
+            raise ModelError(
+                f"composition coefficients for {key.describe()} must have shape "
+                f"({expected},), got {coefficients.shape}"
+            )
+        self._composition[key] = coefficients.copy()
         self._coefficients_version += 1
 
     # ------------------------------------------------------------------
@@ -356,6 +404,26 @@ class LinearPerfModel:
                     victim_demand, co_runner_demand, pool_fraction
                 )
                 value += float(d[j_dim + h_dim :] @ terms)
+            if len(co_counters) >= 2 and key in self._composition:
+                # Full-chip composition correction (mutually exclusive
+                # with the sub-chip branch above): the pair-additive terms
+                # overshoot once the whole-chip pool clips, so apply the
+                # capacity-aware basis at q = 1 with the N≥3-fitted E.
+                e = self._composition[key]
+                h_dim = self._basis.h_dim
+                co_runner_demand = 0.0
+                for other in co_counters:
+                    co_runner_demand += dram_demand(other)
+                victim_demand = dram_demand(counters)
+                pool_fraction = self.pool_fraction(key)
+                servable = servable_fraction(
+                    victim_demand, co_runner_demand, pool_fraction
+                )
+                value += servable * float(e[:h_dim] @ self._basis.h(counters))
+                terms = pool_saturation_terms(
+                    victim_demand, co_runner_demand, pool_fraction
+                )
+                value += float(e[h_dim:] @ terms)
         return max(0.0, value)
 
     def predict_corun(
@@ -407,6 +475,8 @@ class LinearPerfModel:
             partner_mask,
             sub_chip,
             pool_fractions,
+            comp_mask,
+            composition,
         ) = self._gather_coefficients(candidates, n_apps)
         predictions = np.empty((n_candidates, n_apps), dtype=float)
         for i in range(n_apps):
@@ -459,6 +529,29 @@ class LinearPerfModel:
                         + interference[:, i, j_dim + h_dim + 1] * excess
                     )
                     acc = acc + sub_chip[:, i] * (scaled_h + pool_value)
+                # Full-chip composition correction, mirroring the scalar
+                # path op for op (the full-chip pool fraction is exactly
+                # 1.0, so the divisions reduce away); the mask zeroes
+                # candidates whose key has no fitted E or where this
+                # application sees fewer than two co-runners, leaving
+                # those rows bit-identical to the pair-era expression.
+                if comp_mask is not None and comp_mask[:, i].any():
+                    assert composition is not None
+                    h_dim = self._basis.h_dim
+                    combined = demands[i] + co_runner_demand
+                    servable = np.minimum(
+                        1.0, 1.0 / np.maximum(combined, 1e-6)
+                    )
+                    scaled_h = servable * (
+                        composition[:, i, :h_dim] @ h_vecs[i]
+                    )
+                    saturating = np.minimum(1.0, co_runner_demand)
+                    excess = np.maximum(0.0, combined - 1.0)
+                    pool_value = (
+                        composition[:, i, h_dim] * saturating
+                        + composition[:, i, h_dim + 1] * excess
+                    )
+                    acc = acc + comp_mask[:, i] * (scaled_h + pool_value)
             predictions[:, i] = np.maximum(0.0, acc)
         return predictions
 
@@ -468,6 +561,8 @@ class LinearPerfModel:
         n_apps: int,
     ) -> tuple[
         np.ndarray,
+        np.ndarray | None,
+        np.ndarray | None,
         np.ndarray | None,
         np.ndarray | None,
         np.ndarray | None,
@@ -486,7 +581,9 @@ class LinearPerfModel:
         The interference tensor is padded to ``j_dim + h_dim +
         POOL_TERM_DIM`` columns; full-chip keys leave the capacity-aware
         columns zero (and their pool fraction 1.0, keeping the batched
-        divisions well-defined).
+        divisions well-defined).  The composition mask/tensor pair is only
+        allocated when a candidate can co-locate three or more
+        applications — the N=2 hot path never pays for it.
         """
         cache_key = (
             self._coefficients_version,
@@ -525,6 +622,17 @@ class LinearPerfModel:
         pool_fractions = (
             np.ones((n_candidates, n_apps), dtype=float) if n_apps > 1 else None
         )
+        comp_mask = (
+            np.zeros((n_candidates, n_apps), dtype=float) if n_apps > 2 else None
+        )
+        composition = (
+            np.zeros(
+                (n_candidates, n_apps, self._basis.h_dim + POOL_TERM_DIM),
+                dtype=float,
+            )
+            if n_apps > 2
+            else None
+        )
         for ci, (state, power_cap_w) in enumerate(candidates):
             if state.n_apps != n_apps:
                 raise ModelError(
@@ -542,11 +650,20 @@ class LinearPerfModel:
                         )
                     coefficients = self._interference[key]
                     interference[ci, i, : coefficients.shape[0]] = coefficients
-                    partner_mask[ci, i, list(state.interference_partners(i))] = 1.0
+                    partners = list(state.interference_partners(i))
+                    partner_mask[ci, i, partners] = 1.0
                     if self.is_sub_chip_shared(key):
                         assert sub_chip is not None and pool_fractions is not None
                         sub_chip[ci, i] = 1.0
                         pool_fractions[ci, i] = self.pool_fraction(key)
+                    elif (
+                        comp_mask is not None
+                        and len(partners) >= 2
+                        and key in self._composition
+                    ):
+                        assert composition is not None
+                        comp_mask[ci, i] = 1.0
+                        composition[ci, i] = self._composition[key]
         self._gather_builds += 1
         if len(self._gather_cache) >= self._GATHER_CACHE_SIZE:
             self._gather_cache.pop(next(iter(self._gather_cache)))
@@ -556,8 +673,18 @@ class LinearPerfModel:
             partner_mask,
             sub_chip,
             pool_fractions,
+            comp_mask,
+            composition,
         )
-        return scalability, interference, partner_mask, sub_chip, pool_fractions
+        return (
+            scalability,
+            interference,
+            partner_mask,
+            sub_chip,
+            pool_fractions,
+            comp_mask,
+            composition,
+        )
 
     def supports_candidate(
         self,
@@ -607,6 +734,7 @@ class LinearPerfModel:
             "spec": self._spec.name,
             "scalability": encode(self._scalability),
             "interference": encode(self._interference),
+            "composition": encode(self._composition),
         }
 
     @classmethod
@@ -666,6 +794,8 @@ class LinearPerfModel:
             model.set_scalability_coefficients(decode_key(entry), np.array(entry["coefficients"]))
         for entry in data.get("interference", []):
             model.set_interference_coefficients(decode_key(entry), np.array(entry["coefficients"]))
+        for entry in data.get("composition", []):
+            model.set_composition_coefficients(decode_key(entry), np.array(entry["coefficients"]))
         return model
 
     # ------------------------------------------------------------------
@@ -680,7 +810,7 @@ class LinearPerfModel:
 def required_state_keys(
     states: Iterable[PartitionState],
     power_caps: Iterable[float],
-    spec: GPUSpec = A100_SPEC,
+    spec: GPUSpec,
 ) -> tuple[HardwareStateKey, ...]:
     """Every per-application hardware state implied by states × power caps."""
     keys: set[HardwareStateKey] = set()

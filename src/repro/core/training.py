@@ -111,6 +111,7 @@ class TrainingReport:
     scalability_residuals: dict[HardwareStateKey, float] = field(default_factory=dict)
     interference_residuals: dict[HardwareStateKey, float] = field(default_factory=dict)
     mixed_residuals: dict[HardwareStateKey, float] = field(default_factory=dict)
+    composition_residuals: dict[HardwareStateKey, float] = field(default_factory=dict)
 
     @property
     def worst_scalability_residual(self) -> float:
@@ -126,6 +127,11 @@ class TrainingReport:
     def worst_mixed_residual(self) -> float:
         """Largest per-state RMS residual of the joint mixed-state fit."""
         return max(self.mixed_residuals.values(), default=0.0)
+
+    @property
+    def worst_composition_residual(self) -> float:
+        """Largest per-state RMS residual of the full-chip composition fit."""
+        return max(self.composition_residuals.values(), default=0.0)
 
 
 class ModelTrainer:
@@ -206,6 +212,9 @@ class ModelTrainer:
         even their private-GI rows must not perturb the pair-era residual
         regressions (full-GI coefficients stay bit-identical to a training
         run without mixed states).  They are consumed by :meth:`fit_mixed`.
+        N≥3 full-chip shared measurements are likewise excluded — folding
+        their rows into the residual regression would move the pair-era
+        ``D`` vectors; they feed :meth:`fit_composition` instead.
         """
         report = self.last_report or TrainingReport()
         report.n_corun_measurements += len(measurements)
@@ -213,6 +222,11 @@ class ModelTrainer:
         targets: dict[HardwareStateKey, list[float]] = {}
         for measurement in measurements:
             if measurement.state.option is MemoryOption.MIXED:
+                continue
+            if (
+                measurement.state.option is MemoryOption.SHARED
+                and measurement.state.n_apps > 2
+            ):
                 continue
             for index in range(measurement.state.n_apps):
                 key = HardwareStateKey.from_state(
@@ -341,6 +355,93 @@ class ModelTrainer:
         return model
 
     # ------------------------------------------------------------------
+    # Stage 4: full-chip composition (N ≥ 3 shared) correction
+    # ------------------------------------------------------------------
+    def fit_composition(
+        self,
+        measurements: Sequence[CoRunMeasurement],
+        model: LinearPerfModel,
+    ) -> LinearPerfModel:
+        """Fit the full-chip composition correction from N≥3 shared runs.
+
+        The pair-fitted full-chip shared model composes co-runners
+        additively, so with three or more applications the summed ``J``
+        terms overshoot exactly where the chip-wide pool clips.  This
+        stage regresses the *residual* of the pair-era prediction
+        (``C·H + Σ_j D·J_j``, unclamped) on the capacity-aware basis at
+        ``q = 1`` — the servable-fraction-scaled victim ``H`` block
+        followed by the saturating/excess pool terms, the same layout the
+        sub-chip keys append to ``D`` (key schema v3).  Pair predictions
+        are bit-identical by construction: the correction only evaluates
+        when an application sees two or more co-runners, and the pair
+        ``C``/``D`` vectors are never touched.  Rows are weighted by the
+        reciprocal measured RPerf (floored), mirroring :meth:`fit_mixed`,
+        so the paper's relative-error metric is what the fit minimizes.
+        """
+        report = self.last_report or TrainingReport()
+        j_dim = self._basis.j_dim
+        design_rows: dict[HardwareStateKey, list[np.ndarray]] = {}
+        targets: dict[HardwareStateKey, list[float]] = {}
+        weights_rows: dict[HardwareStateKey, list[float]] = {}
+        for measurement in measurements:
+            if measurement.state.option is not MemoryOption.SHARED:
+                continue
+            if measurement.state.n_apps <= 2:
+                continue
+            for index in range(measurement.state.n_apps):
+                key = HardwareStateKey.from_state(
+                    measurement.state, index, measurement.power_cap_w, self._spec
+                )
+                if model.is_sub_chip_shared(key):
+                    continue
+                if not model.has_scalability(key) or not model.has_interference(key):
+                    continue
+                own_counters = measurement.counters[index]
+                others = [
+                    measurement.counters[j]
+                    for j in measurement.state.interference_partners(index)
+                ]
+                base = float(
+                    model.scalability_coefficients(key)
+                    @ self._basis.h(own_counters)
+                )
+                d = model.interference_coefficients(key)
+                for other in others:
+                    base += float(d[:j_dim] @ self._basis.j(other))
+                measured = measurement.relative_performances[index]
+                victim_demand = dram_demand(own_counters)
+                co_runner_demand = sum(dram_demand(other) for other in others)
+                pool_fraction = model.pool_fraction(key)
+                servable = servable_fraction(
+                    victim_demand, co_runner_demand, pool_fraction
+                )
+                pool = pool_saturation_terms(
+                    victim_demand, co_runner_demand, pool_fraction
+                )
+                own = self._basis.h(own_counters)
+                design_rows.setdefault(key, []).append(
+                    np.concatenate([servable * own, pool])
+                )
+                targets.setdefault(key, []).append(measured - base)
+                weights_rows.setdefault(key, []).append(
+                    1.0 / max(measured, _RELATIVE_WEIGHT_FLOOR)
+                )
+        for key, rows in design_rows.items():
+            design = np.vstack(rows)
+            target = np.array(targets[key], dtype=float)
+            weights = np.array(weights_rows[key], dtype=float)
+            coefficients = self._least_squares(
+                design * weights[:, None], target * weights
+            )
+            model.set_composition_coefficients(key, coefficients)
+            residual = design @ coefficients - target
+            report.composition_residuals[key] = float(
+                np.sqrt(np.mean(residual**2))
+            )
+        self.last_report = report
+        return model
+
+    # ------------------------------------------------------------------
     def train(
         self,
         solo_measurements: Sequence[SoloMeasurement],
@@ -352,6 +453,7 @@ class ModelTrainer:
         if corun_measurements:
             model = self.fit_interference(corun_measurements, model)
             model = self.fit_mixed(corun_measurements, model)
+            model = self.fit_composition(corun_measurements, model)
         return model
 
 

@@ -42,6 +42,7 @@ from repro.gpu.mig import (
     PartitionState,
     enumerate_partition_states,
     mixed_training_states,
+    shared_training_states,
 )
 from repro.gpu.spec import A100_SPEC, GPUSpec
 from repro.profiling.database import ProfileDatabase
@@ -133,28 +134,42 @@ class TrainingPlan:
     ) -> "TrainingPlan":
         """A plan whose grid is derived from ``spec`` instead of Table 5.
 
-        The solo sweep covers every MIG instance size the spec offers, the
-        interference calibration covers *every* realizable pair state, and
-        a covering subset of three-application mixed states calibrates the
-        sub-chip shared GI keys that only mixed layouts reach, so the
-        fitted coefficients support allocation decisions for groups of any
-        size (the interference term composes additively over co-runners,
-        Section 4.3).  This is the plan to use for N-way scheduling or for
-        non-A100 specs whose profile table differs.
+        The solo sweep covers every instance size the spec's partition
+        scheme offers, the interference calibration covers *every*
+        realizable pair state, a covering subset of multi-application
+        mixed states calibrates the sub-chip shared GI keys that only
+        mixed layouts reach, and a covering subset of N≥3 full-chip
+        shared states calibrates the composition correction
+        (``ModelTrainer.fit_composition``), so the fitted coefficients
+        support allocation decisions for groups of any size (the
+        interference term composes additively over co-runners, Section
+        4.3).  This is the plan to use for N-way scheduling or for
+        non-A100 specs whose profile table differs.  Schemes without
+        three-application mixed layouts (independent-axes partitioning
+        only realizes symmetric compute groups) fall back to
+        four-application mixed states so their sub-chip shared keys still
+        get calibrated.
         """
         if power_caps is None:
             power_caps = power_caps_for_spec(spec)
-        sizes = tuple(s for s in spec.mig_instance_sizes if s <= spec.mig_gpcs)
+        sizes = tuple(
+            s for s in spec.scheme.instance_sizes(spec) if s <= spec.mig_gpcs
+        )
         pair_states = tuple(
             enumerate_partition_states(
                 2, spec, (MemoryOption.SHARED, MemoryOption.PRIVATE)
             )
         )
+        mixed = mixed_training_states(spec)
+        if not mixed:
+            mixed = mixed_training_states(spec, 4)
+        # Shared N≥3 states go last so the per-key measurement row order
+        # of the pair and mixed fits is unchanged (bit-identical fits).
         return cls(
             gpc_counts=sizes,
             options=(MemoryOption.PRIVATE, MemoryOption.SHARED),
             power_caps=tuple(float(p) for p in power_caps),
-            states=pair_states + mixed_training_states(spec),
+            states=pair_states + mixed + shared_training_states(spec),
         )
 
 

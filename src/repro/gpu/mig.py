@@ -30,28 +30,12 @@ This module provides two layers:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from enum import Enum
 from typing import Iterator, Mapping, Sequence
 
 from repro.errors import PartitioningError, SpecificationError
-from repro.gpu.spec import A100_SPEC, GPUSpec
+from repro.gpu.scheme import MemoryOption
+from repro.gpu.spec import A100_SPEC, GPU_SPECS, GPUSpec
 from repro.gpu.topology import ChipTopology
-
-
-class MemoryOption(str, Enum):
-    """LLC/HBM sharing option between co-located applications."""
-
-    #: Each application gets its own GPU Instance (isolated memory slices).
-    PRIVATE = "private"
-    #: One GPU Instance hosts all applications as Compute Instances
-    #: (memory resources shared; full-chip bandwidth visible to everyone).
-    SHARED = "shared"
-    #: Applications are split into several GPU Instances, at least one of
-    #: which hosts two or more applications as Compute Instances.  Memory is
-    #: isolated *between* the GIs and shared *inside* each GI — the finer
-    #: granularity the paper's Section 6 points to for larger groups.
-    MIXED = "mixed"
-
 
 #: Memory slices granted to a GPU Instance of a given GPC size on the A100
 #: (the paper, Section 3: "when we utilize 1, 2, 3, 4, or 7 GPCs with the
@@ -59,11 +43,13 @@ class MemoryOption(str, Enum):
 #: Aliases the A100 spec's profile table so there is one source of truth.
 GPC_TO_MEM_SLICES: Mapping[int, int] = A100_SPEC.mig_mem_slices
 
-#: Compute/GPU Instance sizes supported by the MIG feature (no 5- or 6-GPC
-#: instances exist on the A100).  This is the superset of sizes any built-in
-#: :class:`~repro.gpu.spec.GPUSpec` offers; per-spec validity is checked by
-#: :meth:`PartitionState.validate_against`.
-VALID_INSTANCE_SIZES: tuple[int, ...] = A100_SPEC.mig_instance_sizes
+#: Partition sizes any built-in :class:`~repro.gpu.spec.GPUSpec` offers —
+#: the union over the spec registry (no 5- or 6-GPC instances exist on any
+#: built-in part; the 8 comes from the MI300X's full-chip SPX mode).
+#: Per-spec validity is checked by :meth:`PartitionState.validate_against`.
+VALID_INSTANCE_SIZES: tuple[int, ...] = tuple(
+    sorted({size for spec in GPU_SPECS.values() for size in spec.mig_instance_sizes})
+)
 
 
 def _normalize_groups(groups: Sequence[int]) -> tuple[int, ...]:
@@ -244,31 +230,31 @@ class PartitionState:
         return MemoryOption.SHARED if len(members) > 1 else MemoryOption.PRIVATE
 
     def gi_size_for_group(self, members: Sequence[int], spec: GPUSpec) -> int:
-        """GPCs of the GPU Instance hosting ``members`` on ``spec``.
+        """Compute units of the partition hosting ``members`` on ``spec``.
 
-        A single-application private GI matches the application's size; the
-        shared option uses the full MIG partition; a mixed multi-application
-        GI uses the smallest instance profile that fits the group.
+        Delegates to the spec's partition scheme: under the coupled MIG
+        scheme a single-application private GI matches the application's
+        size, the shared option uses the full MIG partition, and a mixed
+        multi-application GI uses the smallest instance profile that fits
+        the group; an independent-axes scheme sizes groups by its NPS
+        domains instead.
         """
-        if self.option is MemoryOption.SHARED:
-            return spec.mig_gpcs
-        total = sum(self.gpc_allocations[i] for i in members)
-        if len(members) == 1:
-            return total
-        return spec.smallest_instance_holding(total)
+        return spec.scheme.group_compute_units(spec, self, members)
 
-    def mem_slices_for(self, index: int, spec: GPUSpec = A100_SPEC) -> int:
-        """Memory slices of the GPU Instance hosting application ``index``.
+    def mem_slices_for(self, index: int, spec: GPUSpec) -> int:
+        """Memory domains of the partition hosting application ``index``.
 
-        This is the slice count behind the per-application model key: a
-        private GI contributes its own profile-table slices, the full-chip
-        shared GI the whole chip's, and a sub-chip shared GI (mixed
-        layouts) the slices of that smaller instance.
+        This is the slice count behind the per-application model key: on
+        a coupled-slice (MIG) spec a private GI contributes its own
+        profile-table slices, the full-chip shared GI the whole chip's,
+        and a sub-chip shared GI (mixed layouts) the slices of that
+        smaller instance; an independent-axes spec contributes the HBM
+        stacks of the hosting NPS domain.
         """
         members = self.group_of(index)
-        return spec.instance_mem_slices(self.gi_size_for_group(members, spec))
+        return spec.scheme.group_mem_domains(spec, self, members)
 
-    def gi_sizes(self, spec: GPUSpec = A100_SPEC) -> tuple[int, ...]:
+    def gi_sizes(self, spec: GPUSpec) -> tuple[int, ...]:
         """GPCs of every GPU Instance the state creates, in GI order.
 
         The multiset of GI sizes is what a MIG reconfiguration actually
@@ -279,20 +265,19 @@ class PartitionState:
             self.gi_size_for_group(members, spec) for members in self.groups()
         )
 
-    def allocation_for(self, index: int, spec: GPUSpec = A100_SPEC) -> InstanceAllocation:
+    def allocation_for(self, index: int, spec: GPUSpec) -> InstanceAllocation:
         """Resources visible to application ``index`` (0-based) on ``spec``."""
         if not (0 <= index < self.n_apps):
             raise IndexError(f"application index {index} out of range")
         gpcs = self.gpc_allocations[index]
         members = self.group_of(index)
-        gi_size = self.gi_size_for_group(members, spec)
         return InstanceAllocation(
             gpcs=gpcs,
-            mem_slices=spec.instance_mem_slices(gi_size),
+            mem_slices=spec.scheme.group_mem_domains(spec, self, members),
             shared_memory=len(members) > 1 or self.option is MemoryOption.SHARED,
         )
 
-    def allocations(self, spec: GPUSpec = A100_SPEC) -> tuple[InstanceAllocation, ...]:
+    def allocations(self, spec: GPUSpec) -> tuple[InstanceAllocation, ...]:
         """Resources visible to every application, in application order."""
         return tuple(self.allocation_for(i, spec) for i in range(self.n_apps))
 
@@ -316,40 +301,16 @@ class PartitionState:
     def validate_against(self, spec: GPUSpec) -> None:
         """Check that the state is realizable on hardware described by ``spec``.
 
+        Delegates to the spec's partition scheme, which knows whether the
+        compute split and memory mode the state implies exist on the part.
+
         Raises
         ------
         repro.errors.PartitioningError
-            If the state needs instance profiles, GPCs, or memory slices
-            that MIG does not expose on ``spec``.
+            If the state needs partition profiles, compute units, or
+            memory domains the scheme does not expose on ``spec``.
         """
-        for gpcs in self.gpc_allocations:
-            if gpcs not in spec.mig_instance_sizes:
-                raise PartitioningError(
-                    f"state {self.describe()} uses a {gpcs}-GPC instance but "
-                    f"{spec.name} only offers sizes {spec.mig_instance_sizes}"
-                )
-        if self.option is MemoryOption.SHARED:
-            needed_gpcs = self.total_gpcs
-            needed_slices = 0
-        else:
-            try:
-                gi_sizes = [
-                    self.gi_size_for_group(members, spec) for members in self.groups()
-                ]
-            except SpecificationError as exc:
-                raise PartitioningError(f"state {self.describe()}: {exc}") from None
-            needed_gpcs = sum(gi_sizes)
-            needed_slices = sum(spec.instance_mem_slices(size) for size in gi_sizes)
-        if needed_gpcs > spec.mig_gpcs:
-            raise PartitioningError(
-                f"state {self.describe()} needs {needed_gpcs} GPCs but MIG "
-                f"exposes only {spec.mig_gpcs}"
-            )
-        if needed_slices > spec.n_mem_slices:
-            raise PartitioningError(
-                f"state {self.describe()} needs {needed_slices} memory slices "
-                f"but the chip has only {spec.n_mem_slices}"
-            )
+        spec.scheme.validate_state(spec, self)
 
     def describe(self) -> str:
         """Human-readable description, e.g. ``"4GPCs-3GPCs/Shared"``.
@@ -457,7 +418,7 @@ def _mixed_groupings(n_apps: int) -> tuple[tuple[int, ...], ...]:
 
 def enumerate_partition_states(
     n_apps: int,
-    spec: GPUSpec = A100_SPEC,
+    spec: GPUSpec,
     options: Sequence[MemoryOption] = (
         MemoryOption.SHARED,
         MemoryOption.PRIVATE,
@@ -467,17 +428,20 @@ def enumerate_partition_states(
     """Every realizable ``n_apps``-application partition state on ``spec``.
 
     This generator is the N-way replacement of the S1–S4 table: states are
-    derived from the spec's MIG instance profiles instead of being
-    hard-coded, job allocation is part of the state (every ordering of the
-    GPC split is a distinct state), and the *mixed* option enumerates every
-    way of grouping three or more applications into GPU Instances.  Mixed
-    layouts require at least three applications, so requesting the option
-    for pairs simply yields nothing.
+    derived from the partition sizes the spec's scheme exposes instead of
+    being hard-coded, job allocation is part of the state (every ordering
+    of the size split is a distinct state), and the *mixed* option
+    enumerates every way of grouping three or more applications into
+    memory domains.  Mixed layouts require at least three applications, so
+    requesting the option for pairs simply yields nothing.  Combinations
+    the scheme rejects (e.g. asymmetric splits on an independent-axes
+    part) are filtered by validation, not enumerated specially.
     """
     if n_apps < 1:
         raise SpecificationError(f"n_apps must be >= 1, got {n_apps}")
-    if n_apps > spec.mig_gpcs:
-        # Every application needs at least one GPC, so no state can exist.
+    if n_apps > spec.scheme.max_co_located(spec):
+        # Every application needs at least one compute unit / partition,
+        # so no state can exist.
         return
     # PartitionState only accepts sizes from the built-in superset
     # (VALID_INSTANCE_SIZES); a custom spec advertising e.g. a 5-GPC
@@ -485,7 +449,7 @@ def enumerate_partition_states(
     # partition states, so it is excluded here rather than crashing.
     sizes = tuple(
         s
-        for s in spec.mig_instance_sizes
+        for s in spec.scheme.instance_sizes(spec)
         if s in VALID_INSTANCE_SIZES and s <= spec.mig_gpcs
     )
 
@@ -524,7 +488,7 @@ def enumerate_partition_states(
 
 
 def enumerate_corun_states(
-    spec: GPUSpec = A100_SPEC,
+    spec: GPUSpec,
     options: Sequence[MemoryOption] = (MemoryOption.SHARED, MemoryOption.PRIVATE),
 ) -> tuple[PartitionState, ...]:
     """Every realizable two-application partition state on ``spec``.
@@ -539,7 +503,7 @@ def enumerate_corun_states(
 
 
 def mixed_training_states(
-    spec: GPUSpec = A100_SPEC, n_apps: int = 3
+    spec: GPUSpec, n_apps: int = 3
 ) -> tuple[PartitionState, ...]:
     """A covering subset of mixed states for the calibration sweep.
 
@@ -563,6 +527,27 @@ def mixed_training_states(
                 for i in range(state.n_apps)
             )
         )
+        representatives.setdefault(signature, state)
+    return tuple(representatives.values())
+
+
+def shared_training_states(
+    spec: GPUSpec, n_apps: int = 3
+) -> tuple[PartitionState, ...]:
+    """A covering subset of ``n_apps``-way full-chip shared states.
+
+    Keeps one representative per distinct multiset of per-application GPC
+    sizes.  These are the calibration sweep behind the N≥3 composition
+    stage (:meth:`repro.core.training.ModelTrainer.fit_composition`): on
+    the full-chip pool, pair-fitted interference coefficients compose
+    additively over co-runners and overestimate the combined pressure, so
+    the composition correction is fitted from states that actually host
+    three or more applications.  Allocation permutations of the same size
+    multiset would reach the same hardware-state keys and are dropped.
+    """
+    representatives: dict[tuple, PartitionState] = {}
+    for state in enumerate_partition_states(n_apps, spec, (MemoryOption.SHARED,)):
+        signature = tuple(sorted(state.gpc_allocations))
         representatives.setdefault(signature, state)
     return tuple(representatives.values())
 
@@ -790,7 +775,13 @@ class MIGManager:
         else:
             for members in state.groups():
                 gi_size = state.gi_size_for_group(members, self._spec)
-                gi = self.create_gpu_instance(gi_size)
+                # The scheme decides the memory domains of the partition —
+                # for the coupled MIG scheme this equals the profile-table
+                # default, for an independent-axes scheme it is the hosting
+                # NPS domain's stack count.
+                gi = self.create_gpu_instance(
+                    gi_size, state.mem_slices_for(members[0], self._spec)
+                )
                 for index in members:
                     cis[index] = self.create_compute_instance(
                         gi.gi_id, state.gpc_allocations[index]

@@ -22,6 +22,11 @@ from enum import Enum
 from typing import Mapping
 
 from repro.errors import SpecificationError
+from repro.gpu.scheme import (
+    CoupledSliceScheme,
+    IndependentAxesScheme,
+    PartitionScheme,
+)
 
 
 class Pipe(str, Enum):
@@ -155,6 +160,13 @@ class GPUSpec:
         Memory slices granted to a GPU Instance of each size under the
         private option (the paper, Section 3).  Keys must cover exactly
         ``mig_instance_sizes``.
+    scheme:
+        The :class:`~repro.gpu.scheme.PartitionScheme` mapping partition
+        states to compute units and memory domains on this part.  NVIDIA
+        specs use the coupled MIG profile table
+        (:class:`~repro.gpu.scheme.CoupledSliceScheme`); AMD-style specs
+        cross independent compute and NPS memory modes
+        (:class:`~repro.gpu.scheme.IndependentAxesScheme`).
     """
 
     name: str = "Simulated-A100-40GB"
@@ -192,6 +204,7 @@ class GPUSpec:
     mig_mem_slices: Mapping[int, int] = field(
         default_factory=lambda: {1: 1, 2: 2, 3: 4, 4: 4, 7: 8}
     )
+    scheme: PartitionScheme = field(default_factory=CoupledSliceScheme)
 
     def __post_init__(self) -> None:
         if self.n_gpcs <= 0:
@@ -418,11 +431,54 @@ A30_SPEC = GPUSpec(
     mig_mem_slices={1: 1, 2: 2, 4: 4},
 )
 
+#: An MI300X-style part: 8 XCDs ("GPCs" in this library's vocabulary) and
+#: 8 HBM stacks partitioned *independently* — compute modes SPX/DPX/QPX/CPX
+#: (1×8, 2×4, 4×2, 8×1 XCDs) crossed with NPS1/2/4/8 memory modes — so the
+#: spec carries the :class:`~repro.gpu.scheme.IndependentAxesScheme` instead
+#: of the MIG profile table.  ``mig_mem_slices`` keeps the per-size stack
+#: counts a lone NPS-per-partition placement sees (size g → g stacks) for
+#: profile-table fallbacks; the scheme, not the table, is authoritative.
+MI300X_SPEC = GPUSpec(
+    name="Simulated-MI300X-192GB",
+    n_gpcs=8,
+    mig_gpcs=8,
+    sms_per_gpc=38,
+    pipe_tflops={
+        Pipe.FP32: 163.4,
+        Pipe.FP64: 81.7,
+        Pipe.TENSOR_MIXED: 1307.4,
+        Pipe.TENSOR_DOUBLE: 163.4,
+        Pipe.TENSOR_INT: 2614.9,
+    },
+    dram_bandwidth_gbs=5300.0,
+    n_mem_slices=8,
+    l2_cache_mb=256.0,
+    hbm_capacity_gb=192.0,
+    max_clock_ghz=2.100,
+    base_clock_ghz=1.500,
+    min_clock_ghz=0.500,
+    clock_step_ghz=0.015,
+    default_power_limit_w=750.0,
+    min_power_cap_w=300.0,
+    max_power_cap_w=750.0,
+    static_power_w=60.0,
+    gpc_idle_power_w=5.0,
+    gpc_cuda_power_w=48.0,
+    gpc_tensor_power_w=70.0,
+    hbm_idle_power_w=50.0,
+    hbm_dynamic_power_w=140.0,
+    dvfs_exponent=2.4,
+    mig_instance_sizes=(1, 2, 4, 8),
+    mig_mem_slices={1: 1, 2: 2, 4: 4, 8: 8},
+    scheme=IndependentAxesScheme(),
+)
+
 #: Registry of the built-in hardware specifications, by short name.
 GPU_SPECS: Mapping[str, GPUSpec] = {
     "a100": A100_SPEC,
     "h100": H100_SPEC,
     "a30": A30_SPEC,
+    "mi300x": MI300X_SPEC,
 }
 
 

@@ -329,20 +329,23 @@ class PerformanceSimulator:
         state: PartitionState,
         kernels: tuple[KernelCharacteristics, ...],
     ) -> list[_Placement]:
-        """One placement per application; pools follow the GI grouping.
+        """One placement per application; pools follow the scheme's domains.
 
         Interference (cache pollution, bandwidth contention) only couples
-        applications that share a GPU Instance: all of them under the shared
+        applications that draw from the same *contended* memory domain —
+        the spec's partition scheme decides the domains: one per GPU
+        Instance on MIG-style parts (all applications under the shared
         option, the members of each ``gi_groups`` group under the mixed
-        option, nobody under the private option.
+        option, nobody under the private option), one per NPS domain on
+        independent-axes parts.
         """
         placements: list[_Placement] = []
-        groups = state.groups()
         pool_of: dict[int, int] = {}
-        for pool_id, members in enumerate(groups):
-            is_pool = state.option is MemoryOption.SHARED or len(members) > 1
-            for index in members:
-                if is_pool:
+        for pool_id, pool in enumerate(
+            self._spec.scheme.memory_pools(self._spec, state)
+        ):
+            if pool.contended:
+                for index in pool.members:
                     pool_of[index] = pool_id
         for index, kernel in enumerate(kernels):
             allocation = state.allocation_for(index, self._spec)
@@ -350,7 +353,7 @@ class PerformanceSimulator:
             co_located = state.group_of(index)
             others = [kernels[j] for j in co_located if j != index]
             if others:
-                # Contention happens inside the hosting GPU Instance, whose
+                # Contention happens inside the hosting memory domain, whose
                 # LLC share is proportional to its memory slices — a
                 # sub-chip shared GI (mixed layouts) is polluted harder
                 # than the full-chip pool by the same co-runner.

@@ -1,10 +1,11 @@
-"""Interference between Compute Instances that share a GPU Instance.
+"""Interference between applications that share a memory domain.
 
-MIG isolates memory resources *between* GPU Instances but not between the
-Compute Instances *inside* one GI.  The paper's shared option therefore
+Partitioning isolates memory resources *between* memory domains (GPU
+Instances on MIG, NPS partitions on independent-axes parts) but not between
+the applications *inside* one domain.  The paper's shared option therefore
 trades isolation for bandwidth: a memory-hungry application can use the
-whole chip's HBM bandwidth, but both applications now contend for the LLC
-and for that bandwidth.
+whole pool's HBM bandwidth, but every co-located application now contends
+for the pool's LLC share and for that bandwidth.
 
 Two effects are modelled:
 
@@ -64,7 +65,7 @@ class InterferenceParams:
 
 
 class InterferenceModel:
-    """LLC/HBM contention model for Compute Instances sharing a GPU Instance."""
+    """LLC/HBM contention model for applications sharing a memory domain."""
 
     def __init__(
         self,
@@ -88,12 +89,15 @@ class InterferenceModel:
     # Cache pressure / penalties
     # ------------------------------------------------------------------
     def _pool_llc_mb(self, pool_mem_slices: int | None) -> float:
-        """LLC capacity of the contended pool (the hosting GPU Instance).
+        """LLC capacity of the contended pool (the hosting memory domain).
 
-        ``None`` means the full chip.  MIG distributes the LLC with the
-        memory slices, so a sub-chip GPU Instance (mixed layouts) only owns
-        a proportional share — the same co-runner working set pollutes a
-        far larger fraction of it.
+        ``None`` means the full chip.  Partition schemes distribute the LLC
+        with the memory domains (MIG ties it to a GI's slices, NPS modes to
+        the stacks of a partition), so a sub-chip pool only owns a
+        proportional share — the same co-runner working set pollutes a far
+        larger fraction of it.  The parameter keeps its historical
+        ``pool_mem_slices`` name; it counts the pool's memory domains on
+        any scheme.
         """
         if pool_mem_slices is None or pool_mem_slices == self._spec.n_mem_slices:
             return self._spec.l2_cache_mb

@@ -10,6 +10,7 @@ from repro.analysis.extensions import (
     leave_one_out_validation,
 )
 from repro.gpu.mig import enumerate_corun_states
+from repro.gpu.spec import A100_SPEC
 from repro.sim.engine import PerformanceSimulator
 from repro.sim.noise import no_noise
 from repro.workloads.pairs import CORUN_PAIRS, corun_pair
@@ -26,7 +27,7 @@ class TestFlexiblePartitioning:
         )
 
     def test_state_space_is_larger_than_the_papers(self, study):
-        assert study.n_states == len(enumerate_corun_states())
+        assert study.n_states == len(enumerate_corun_states(A100_SPEC))
         assert study.n_states > 4
 
     def test_flexible_best_never_below_paper_best(self, study):

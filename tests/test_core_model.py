@@ -9,6 +9,7 @@ from repro.core.features import DEFAULT_BASIS
 from repro.core.model import HardwareStateKey, LinearPerfModel, required_state_keys
 from repro.errors import ModelError, NotFittedError
 from repro.gpu.mig import CORUN_STATES, MemoryOption, S1
+from repro.gpu.spec import A100_SPEC
 from repro.sim.counters import collect_counters
 from repro.workloads.suite import DEFAULT_SUITE
 
@@ -78,7 +79,7 @@ class TestHardwareStateKey:
 
 class TestRequiredStateKeys:
     def test_paper_grid_produces_expected_keys(self):
-        keys = required_state_keys(CORUN_STATES, (150.0, 250.0))
+        keys = required_state_keys(CORUN_STATES, (150.0, 250.0), A100_SPEC)
         # Per-application views: {3,4} GPCs x {private,shared} x 2 caps.
         assert len(keys) == 2 * 2 * 2
         assert all(k.gpcs in (3, 4) for k in keys)

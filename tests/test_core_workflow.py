@@ -9,6 +9,7 @@ from repro.core.policies import Problem1Policy
 from repro.core.workflow import OfflineTrainer, OnlineAllocator, PaperWorkflow, TrainingPlan
 from repro.errors import MissingProfileError
 from repro.gpu.mig import CORUN_STATES, MemoryOption
+from repro.gpu.spec import A100_SPEC
 from repro.profiling.database import ProfileDatabase
 from repro.profiling.profiler import ProfileCollector
 from repro.sim.engine import PerformanceSimulator
@@ -48,7 +49,7 @@ class TestTrainingPlan:
 class TestOfflineTrainer:
     def test_run_produces_fitted_model(self, small_workflow):
         model = small_workflow.model
-        needed = required_state_keys((CORUN_STATES[0],), (250.0,))
+        needed = required_state_keys((CORUN_STATES[0],), (250.0,), A100_SPEC)
         for key in needed:
             assert model.has_scalability(key)
             assert model.has_interference(key)

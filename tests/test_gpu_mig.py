@@ -46,18 +46,18 @@ class TestPartitionState:
 
     def test_private_allocation_uses_slice_mapping(self):
         for gpcs, slices in GPC_TO_MEM_SLICES.items():
-            allocation = solo_state(gpcs, MemoryOption.PRIVATE).allocation_for(0)
+            allocation = solo_state(gpcs, MemoryOption.PRIVATE).allocation_for(0, A100_SPEC)
             assert allocation.mem_slices == slices
             assert not allocation.shared_memory
 
     def test_shared_allocation_sees_all_slices(self):
-        allocation = S1.allocation_for(1)
+        allocation = S1.allocation_for(1, A100_SPEC)
         assert allocation.mem_slices == A100_SPEC.n_mem_slices
         assert allocation.shared_memory
 
     def test_allocation_for_out_of_range(self):
         with pytest.raises(IndexError):
-            S1.allocation_for(2)
+            S1.allocation_for(2, A100_SPEC)
 
     def test_swapped_reverses_order(self):
         assert S1.swapped().gpc_allocations == (3, 4)
@@ -99,13 +99,13 @@ class TestStateEnumeration:
         assert all(s.is_solo for s in states)
 
     def test_enumerate_corun_states_are_all_valid(self):
-        states = enumerate_corun_states()
+        states = enumerate_corun_states(A100_SPEC)
         assert len(states) > 0
         for state in states:
             state.validate_against(A100_SPEC)
 
     def test_enumeration_contains_paper_states(self):
-        keys = {state.key() for state in enumerate_corun_states()}
+        keys = {state.key() for state in enumerate_corun_states(A100_SPEC)}
         for state in CORUN_STATES:
             assert state.key() in keys
 
@@ -234,7 +234,7 @@ class TestNWayEnumeration:
     def test_pairs_are_the_n2_special_case(self):
         from repro.gpu.mig import enumerate_partition_states
 
-        assert enumerate_corun_states() == tuple(
+        assert enumerate_corun_states(A100_SPEC) == tuple(
             enumerate_partition_states(
                 2, A100_SPEC, (MemoryOption.SHARED, MemoryOption.PRIVATE)
             )
@@ -274,7 +274,7 @@ class TestNWayEnumeration:
         from repro.gpu.mig import enumerate_partition_states
 
         with pytest.raises(SpecificationError):
-            next(enumerate_partition_states(0))
+            next(enumerate_partition_states(0, A100_SPEC))
 
 
 class TestMixedStates:

@@ -56,7 +56,7 @@ def test_mig_manager_never_overcommits_resources(state):
 @given(valid_two_app_states)
 @settings(max_examples=60, deadline=None)
 def test_partition_state_allocations_are_consistent(state):
-    allocations = state.allocations()
+    allocations = state.allocations(A100_SPEC)
     assert len(allocations) == state.n_apps
     for index, allocation in enumerate(allocations):
         assert allocation.gpcs == state.gpc_allocations[index]

@@ -5,7 +5,7 @@ from __future__ import annotations
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gpu.mig import CORUN_STATES, MemoryOption, VALID_INSTANCE_SIZES, solo_state
+from repro.gpu.mig import CORUN_STATES, MemoryOption, solo_state
 from repro.sim.engine import PerformanceSimulator
 from repro.sim.noise import no_noise
 from repro.workloads.suite import DEFAULT_SUITE
@@ -16,7 +16,9 @@ _GENERATOR = SyntheticWorkloadGenerator(seed=11)
 _KERNEL_POOL = list(DEFAULT_SUITE.all()) + list(_GENERATOR.sample(12))
 
 kernel_strategy = st.sampled_from(_KERNEL_POOL)
-gpcs_strategy = st.sampled_from(VALID_INSTANCE_SIZES)
+# Sample the simulated spec's own instance sizes, not the cross-spec
+# union (VALID_INSTANCE_SIZES) — the 8-XCD mi300x size is invalid here.
+gpcs_strategy = st.sampled_from(_SIM.spec.mig_instance_sizes)
 option_strategy = st.sampled_from([MemoryOption.PRIVATE, MemoryOption.SHARED])
 cap_strategy = st.sampled_from([150.0, 170.0, 190.0, 210.0, 230.0, 250.0])
 state_strategy = st.sampled_from(CORUN_STATES)
