@@ -28,6 +28,7 @@ The CLI (:mod:`repro.cli`) is a thin client of exactly this surface.
 from repro.api.requests import (
     POLICY_NAMES,
     DecisionRequest,
+    LintRequest,
     SimulationRequest,
     StatesRequest,
     decision_requests,
@@ -36,6 +37,8 @@ from repro.api.results import (
     CandidateEvaluationResult,
     DecisionResult,
     LatencyStatsResult,
+    LintFindingRow,
+    LintResult,
     PartitionStateRow,
     SimulationResult,
     StatesResult,
@@ -52,12 +55,15 @@ from repro.api.service import (
 __all__ = [
     "POLICY_NAMES",
     "DecisionRequest",
+    "LintRequest",
     "SimulationRequest",
     "StatesRequest",
     "decision_requests",
     "CandidateEvaluationResult",
     "DecisionResult",
     "LatencyStatsResult",
+    "LintFindingRow",
+    "LintResult",
     "PartitionStateRow",
     "SimulationResult",
     "StatesResult",

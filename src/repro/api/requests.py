@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Any, Mapping, Sequence
 
-from repro.api.serde import build
+from repro.api.serde import build, checked_kwargs
 from repro.errors import ConfigurationError
 from repro.gpu.spec import GPU_SPECS
 from repro.workloads.mixes import JOB_MIXES
@@ -178,6 +178,63 @@ class StatesRequest:
     def from_dict(cls, data: Mapping[str, Any]) -> "StatesRequest":
         """Rebuild a request from :meth:`to_dict` output (unknown keys fail)."""
         return build(cls, data)
+
+
+@dataclass(frozen=True)
+class LintRequest:
+    """One invariant-analysis run over files and directories.
+
+    Attributes
+    ----------
+    paths:
+        Files and directories to analyze (directories are walked
+        recursively, skipping fixture corpora and tool caches).
+    strict:
+        Fail on warnings too, not only on errors — the mode CI runs.
+    select:
+        Optional subset of rule ids to run (``("RL001", "RL004")``);
+        ``None`` runs the full registry.
+    """
+
+    paths: tuple[str, ...]
+    strict: bool = False
+    select: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.paths, str):
+            raise ConfigurationError(
+                f"paths must be a sequence, not the bare string "
+                f"{self.paths!r} (wrap it: paths=({self.paths!r},))"
+            )
+        object.__setattr__(self, "paths", tuple(str(path) for path in self.paths))
+        if not self.paths:
+            raise ConfigurationError("a lint request needs at least one path")
+        object.__setattr__(self, "strict", bool(self.strict))
+        if self.select is not None:
+            select = tuple(str(rule_id) for rule_id in self.select)
+            # Validate the enumerable choice at the boundary, like policy
+            # and spec names elsewhere in this module.
+            from repro.lint.rules import RULES
+
+            unknown = sorted(set(select) - set(RULES))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown rule id(s) {unknown}; registered rules: "
+                    f"{sorted(RULES)}"
+                )
+            object.__setattr__(self, "select", select)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe; tuples serialize as lists)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintRequest":
+        """Rebuild a request from :meth:`to_dict` output (unknown keys fail)."""
+        kwargs = checked_kwargs(cls, data)
+        if kwargs.get("select") is not None:
+            kwargs["select"] = tuple(kwargs["select"])
+        return build(cls, kwargs)
 
 
 def decision_requests(

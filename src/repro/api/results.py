@@ -22,6 +22,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.decision import AllocationDecision, CandidateEvaluation
     from repro.gpu.mig import PartitionState
     from repro.gpu.spec import GPUSpec
+    from repro.lint.analyzer import LintReport
+    from repro.lint.findings import Finding
 
 
 @dataclass(frozen=True)
@@ -347,4 +349,115 @@ class SimulationResult:
             kwargs["final_power_allocation_w"] = {
                 str(node_id): float(cap) for node_id, cap in allocation.items()
             }
+        return build(cls, kwargs)
+
+
+@dataclass(frozen=True)
+class LintFindingRow:
+    """One invariant violation in a :class:`LintResult`."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    @classmethod
+    def from_finding(cls, finding: "Finding") -> "LintFindingRow":
+        """Convert one analyzer-level :class:`~repro.lint.findings.Finding`."""
+        return cls(
+            path=finding.path,
+            line=finding.line,
+            col=finding.col,
+            rule_id=finding.rule_id,
+            severity=finding.severity,
+            message=finding.message,
+        )
+
+    def format(self) -> str:
+        """The canonical one-line rendering (``path:line:col: RLxxx ...``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintFindingRow":
+        """Rebuild from :meth:`to_dict` output (unknown keys fail)."""
+        return build(cls, data)
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """The analyzer's answer to one :class:`~repro.api.requests.LintRequest`.
+
+    ``clean`` is the exit-status verdict the CLI maps to its exit code:
+    no error findings, and under ``strict`` no findings at all.  Findings
+    arrive sorted (path, line, column, rule id), so two runs over the same
+    tree render byte-identically.
+    """
+
+    findings: tuple[LintFindingRow, ...]
+    files_scanned: int
+    suppressed: int
+    strict: bool
+    clean: bool
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "findings", tuple(self.findings))
+
+    @property
+    def n_errors(self) -> int:
+        """Number of error-severity findings."""
+        return sum(1 for f in self.findings if f.severity == "error")
+
+    @property
+    def n_warnings(self) -> int:
+        """Number of warning-severity findings."""
+        return sum(1 for f in self.findings if f.severity == "warning")
+
+    @classmethod
+    def from_report(cls, report: "LintReport", strict: bool) -> "LintResult":
+        """Convert an analyzer-level :class:`~repro.lint.analyzer.LintReport`."""
+        return cls(
+            findings=tuple(
+                LintFindingRow.from_finding(finding) for finding in report.findings
+            ),
+            files_scanned=report.files_scanned,
+            suppressed=report.suppressed,
+            strict=strict,
+            clean=report.clean(strict),
+        )
+
+    def describe(self) -> str:
+        """One line per finding plus the verdict summary line."""
+        lines = [finding.format() for finding in self.findings]
+        verdict = "clean" if self.clean else "FAILED"
+        mode = " (strict)" if self.strict else ""
+        lines.append(
+            f"{verdict}{mode}: {len(self.findings)} finding(s) "
+            f"({self.n_errors} error(s), {self.n_warnings} warning(s)), "
+            f"{self.suppressed} suppressed, {self.files_scanned} file(s) scanned"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe; nested findings become dicts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintResult":
+        """Rebuild from :meth:`to_dict` output (unknown keys fail)."""
+        kwargs = checked_kwargs(cls, data)
+        kwargs["findings"] = tuple(
+            entry
+            if isinstance(entry, LintFindingRow)
+            else LintFindingRow.from_dict(entry)
+            for entry in kwargs.get("findings", ())
+        )
         return build(cls, kwargs)

@@ -22,9 +22,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping
 
-from repro.api.requests import DecisionRequest, SimulationRequest, StatesRequest
+from repro.api.requests import (
+    DecisionRequest,
+    LintRequest,
+    SimulationRequest,
+    StatesRequest,
+)
 from repro.api.results import (
     DecisionResult,
+    LintResult,
     PartitionStateRow,
     SimulationResult,
     StatesResult,
@@ -61,6 +67,8 @@ class SessionKey:
 
 
 @dataclass
+# repro: allow[RL005] a session counts the decisions it served in place;
+# it is engine state behind the facade, not a serialized value object
 class PlannerSession:
     """One trained workflow the service keeps hot.
 
@@ -81,6 +89,8 @@ class PlannerSession:
 
 
 @dataclass
+# repro: allow[RL005] observability counters mutate in place by design;
+# they are never serialized as an API payload (as_dict() is a snapshot)
 class ServiceStats:
     """Observability counters of one :class:`PlannerService` instance."""
 
@@ -91,6 +101,7 @@ class ServiceStats:
     decisions_served: int = 0
     batches_served: int = 0
     simulations_served: int = 0
+    lints_served: int = 0
 
     def as_dict(self) -> dict[str, int]:
         """Plain-dict snapshot (handy for logs and step summaries)."""
@@ -102,6 +113,7 @@ class ServiceStats:
             "decisions_served": self.decisions_served,
             "batches_served": self.batches_served,
             "simulations_served": self.simulations_served,
+            "lints_served": self.lints_served,
         }
 
 
@@ -361,3 +373,14 @@ class PlannerService:
             n_apps=request.n_apps,
             states=tuple(PartitionStateRow.from_state(state, spec) for state in states),
         )
+
+    # ------------------------------------------------------------------
+    # Lint
+    # ------------------------------------------------------------------
+    def lint(self, request: LintRequest) -> LintResult:
+        """Run the invariant analyzer (no training or session involved)."""
+        from repro.lint.analyzer import analyze_paths
+
+        report = analyze_paths(request.paths, select=request.select)
+        self.stats.lints_served += 1
+        return LintResult.from_report(report, strict=request.strict)

@@ -17,10 +17,13 @@ workflow would be driven in a deployment:
   print online metrics (tail latencies, utilization, energy);
 * ``repro-cli accuracy`` — the Section 5.2.1 model-error statistic;
 * ``repro-cli figure N`` — regenerate the data behind one of the paper's
-  figures (4, 5, 6, 8, 9, 10, 11, 12 or 13).
+  figures (4, 5, 6, 8, 9, 10, 11, 12 or 13);
+* ``repro-cli lint [PATH ...]`` — the AST-based invariant analyzer
+  (determinism and cache-coherence rules RL001–RL006; see
+  :mod:`repro.lint`), ``--strict`` failing on warnings too.
 
-The service-backed commands (``decide``, ``simulate``, ``states``) only
-parse arguments, build a typed request, call
+The service-backed commands (``decide``, ``simulate``, ``states``,
+``lint``) only parse arguments, build a typed request, call
 :class:`~repro.api.PlannerService`, and render the typed response — the
 engine plumbing (trainer, suite, allocator, model cache) lives behind the
 service.  Each of them also takes ``--json`` to emit the response
@@ -29,7 +32,9 @@ dataclass's ``to_dict()`` as machine-readable JSON instead of text.
 Exit status: 0 on success, and on a library error one stable code per
 failure family (see :data:`EXIT_CODE_MAP`): 2 for configuration / input
 problems, 3 for infeasible optimization problems, 4 for a rejected model
-cache.
+cache.  ``lint`` additionally exits 1 when the analysis itself ran but
+found violations, mirroring how the other codes distinguish "the tool
+failed" from "the answer is no".
 """
 
 from __future__ import annotations
@@ -55,6 +60,7 @@ from repro.analysis.report import (
 from repro.analysis.tables import table7_classification
 from repro.api import (
     DecisionRequest,
+    LintRequest,
     PlannerService,
     SimulationRequest,
     StatesRequest,
@@ -71,6 +77,8 @@ from repro.workloads.suite import DEFAULT_SUITE
 # ----------------------------------------------------------------------
 # Exit codes: one stable code per failure family, mapped in one place.
 # ----------------------------------------------------------------------
+#: ``lint`` ran successfully but found rule violations.
+EXIT_LINT_FINDINGS = 1
 #: Configuration / input problems (bad spec, unknown kernel, bad trace, ...).
 EXIT_CONFIG = 2
 #: The optimization problem has no feasible candidate (e.g. alpha too strict).
@@ -257,6 +265,40 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the state list as machine-readable JSON instead of text",
     )
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST-based invariant analyzer (determinism and "
+        "cache-coherence rules)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files and directories to analyze (default: src)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too, not only on errors (the mode CI runs)",
+    )
+    lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RLxxx[,RLxxx...]",
+        help="comma-separated subset of rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry with rationales and exit",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the lint report as machine-readable JSON instead of text",
+    )
+
     subparsers.add_parser("accuracy", help="average model error across the evaluation grid")
 
     figure = subparsers.add_parser("figure", help="regenerate the data behind one paper figure")
@@ -428,6 +470,30 @@ def _cmd_states(
     return 0
 
 
+def _cmd_lint(
+    args: argparse.Namespace, out: Callable[[str], None], service: PlannerService
+) -> int:
+    if args.list_rules:
+        from repro.lint.report import render_rules
+
+        out(render_rules())
+        return 0
+    select = (
+        tuple(part.strip() for part in args.select.split(",") if part.strip())
+        if args.select is not None
+        else None
+    )
+    request = LintRequest(
+        paths=tuple(args.paths), strict=args.strict, select=select
+    )
+    result = service.lint(request)
+    if args.json:
+        _emit_json(result, out)
+    else:
+        out(result.describe())
+    return 0 if result.clean else EXIT_LINT_FINDINGS
+
+
 def _cmd_accuracy(
     _: argparse.Namespace, out: Callable[[str], None], __: PlannerService
 ) -> int:
@@ -489,6 +555,7 @@ _COMMANDS = {
     "decide": _cmd_decide,
     "simulate": _cmd_simulate,
     "states": _cmd_states,
+    "lint": _cmd_lint,
     "accuracy": _cmd_accuracy,
     "figure": _cmd_figure,
 }

@@ -15,6 +15,7 @@ in a few lines.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -304,8 +305,10 @@ class OnlineAllocator:
         self._state_cache: dict[tuple, tuple[PartitionState, ...]] = {}
         self._decide_cache: OrderedDict[tuple, AllocationDecision] = OrderedDict()
         # Policy signature memo keyed by object identity (policies are
-        # frozen); the stored reference keeps the id from being recycled.
-        self._policy_keys: dict[int, tuple[Policy, tuple]] = {}
+        # frozen) with a weakref guard: a dead policy's recycled address
+        # can never alias a fresh one, and dead entries evict themselves
+        # via the ref callback.
+        self._policy_keys: dict[int, tuple[weakref.ref[Policy], tuple]] = {}
         self._allocator = ResourcePowerAllocator(
             model,
             candidate_states=candidate_states,
@@ -379,6 +382,34 @@ class OnlineAllocator:
         self._state_cache[cache_key] = supported
         return supported
 
+    def _policy_cache_key(self, policy: Policy) -> tuple:
+        """The hashable signature of ``policy``, memoized per live object.
+
+        The memo keys on ``id(policy)`` with a weakref identity guard: the
+        stored ref must still point at *this* policy, so a dead policy's
+        recycled address can never alias a fresh one, and the ref's
+        callback evicts the entry instead of pinning the policy alive.
+        """
+        keys = self._policy_keys
+        key = id(policy)
+        entry = keys.get(key)
+        if entry is not None and entry[0]() is policy:
+            return entry[1]
+        policy_key = (
+            type(policy).__name__,
+            policy.name,
+            float(policy.alpha),
+            tuple(policy.candidate_power_caps()),
+        )
+        try:
+            ref = weakref.ref(policy, lambda _, k=keys, i=key: k.pop(i, None))
+        except TypeError:
+            # A slotted policy without __weakref__: skip the memo rather
+            # than risk an unguarded id-keyed entry.
+            return policy_key
+        keys[key] = (ref, policy_key)
+        return policy_key
+
     def decide(self, app_names: Sequence[str], policy: Policy) -> AllocationDecision:
         """Solve ``policy`` for the application group named in ``app_names``.
 
@@ -391,20 +422,9 @@ class OnlineAllocator:
         stored), so the full lookup — counters, candidate states, and the
         allocator's solve — is a pure function of that key.
         """
-        entry = self._policy_keys.get(id(policy))
-        if entry is not None and entry[0] is policy:
-            policy_key = entry[1]
-        else:
-            policy_key = (
-                type(policy).__name__,
-                policy.name,
-                float(policy.alpha),
-                tuple(policy.candidate_power_caps()),
-            )
-            self._policy_keys[id(policy)] = (policy, policy_key)
         decide_key = (
             tuple(app_names),
-            policy_key,
+            self._policy_cache_key(policy),
             self._model.coefficients_version,
         )
         cached = self._decide_cache.get(decide_key)

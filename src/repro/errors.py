@@ -103,3 +103,13 @@ class TraceError(ReproError):
 
 class SchedulingError(ReproError):
     """The cluster-level job manager could not schedule a job."""
+
+
+class LintError(ReproError):
+    """The invariant analyzer was given bad input.
+
+    Raised for a missing lint path, an unknown rule id in ``--select``, or
+    a target file that does not parse — usage problems, not findings.  A
+    rule *violation* is reported as a
+    :class:`~repro.lint.findings.Finding`, never as an exception.
+    """

@@ -1,0 +1,192 @@
+"""The analyzer: file discovery, rule dispatch, and pragma suppression.
+
+The entry point is :func:`analyze_paths`, which walks the given files and
+directories, parses each Python module once, runs every registered (or
+selected) rule whose path filter matches, drops findings suppressed by a
+``# repro: allow[RLxxx]`` pragma, and returns a :class:`LintReport` whose
+findings are sorted deterministically.
+
+Suppression pragmas sit on the flagged line (or, for long lines, on a
+comment-only line directly above it) and may carry a justification::
+
+    self._stats = stats  # repro: allow[RL005] counters mutate in place
+
+Directory walks skip test fixture corpora (``lint_fixtures``) and tool
+caches, but a file named explicitly is always analyzed — that is how the
+fixture tests exercise intentionally violating snippets.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import LintError
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import RULES, ModuleContext, Rule
+
+#: Directory names never entered during discovery walks.  ``lint_fixtures``
+#: holds intentionally violating test snippets; the rest are tool caches.
+EXCLUDED_DIR_NAMES = frozenset(
+    {
+        "lint_fixtures",
+        "__pycache__",
+        ".git",
+        ".venv",
+        "venv",
+        "build",
+        "dist",
+        ".mypy_cache",
+        ".pytest_cache",
+    }
+)
+
+#: ``# repro: allow[RLxxx]`` or ``# repro: allow[RLxxx,RLyyy] reason...``.
+_ALLOW_PRAGMA = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one analyzer run."""
+
+    findings: tuple[Finding, ...]
+    files_scanned: int
+    suppressed: int
+
+    @property
+    def n_errors(self) -> int:
+        """Number of error-severity findings."""
+        return sum(1 for f in self.findings if f.severity == Severity.ERROR.value)
+
+    @property
+    def n_warnings(self) -> int:
+        """Number of warning-severity findings."""
+        return sum(1 for f in self.findings if f.severity == Severity.WARNING.value)
+
+    def clean(self, strict: bool = False) -> bool:
+        """Whether the run passes: no errors, and under strict no findings."""
+        if strict:
+            return not self.findings
+        return self.n_errors == 0
+
+
+def select_rules(select: Sequence[str] | None = None) -> tuple[Rule, ...]:
+    """The rules to run: the full registry, or the ``select`` subset."""
+    if select is None:
+        return tuple(RULES[rule_id] for rule_id in sorted(RULES))
+    unknown = sorted(set(select) - set(RULES))
+    if unknown:
+        raise LintError(
+            f"unknown rule id(s) {unknown}; registered rules: {sorted(RULES)}"
+        )
+    return tuple(RULES[rule_id] for rule_id in sorted(set(select)))
+
+
+def discover_files(paths: Iterable[str | Path]) -> tuple[Path, ...]:
+    """The Python files under ``paths``, sorted and de-duplicated.
+
+    A path naming a file is always included (even a fixture); a directory
+    is walked recursively, skipping :data:`EXCLUDED_DIR_NAMES`.  A missing
+    path raises :class:`~repro.errors.LintError` — silently linting
+    nothing would report a clean run for a typo.
+    """
+    out: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            out[path] = None
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                relative = candidate.relative_to(path)
+                if any(part in EXCLUDED_DIR_NAMES for part in relative.parts[:-1]):
+                    continue
+                out[candidate] = None
+        else:
+            raise LintError(f"lint path does not exist: {path}")
+    return tuple(sorted(out))
+
+
+def suppressed_lines(source: str) -> dict[int, set[str]]:
+    """Line number -> rule ids suppressed there (1-based).
+
+    A pragma on a comment-only line covers the next *code* line instead
+    (skipping further comment lines), so a flagged statement can carry a
+    multi-line justification above it.
+    """
+    allowed: dict[int, set[str]] = {}
+    lines = source.splitlines()
+    for number, line in enumerate(lines, start=1):
+        match = _ALLOW_PRAGMA.search(line)
+        if match is None:
+            continue
+        rule_ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        target = number
+        if line.lstrip().startswith("#"):
+            target += 1
+            while target <= len(lines) and lines[target - 1].lstrip().startswith("#"):
+                target += 1
+        allowed.setdefault(target, set()).update(rule_ids)
+    return allowed
+
+
+def analyze_source(
+    source: str, path: str, rules: Sequence[Rule] | None = None
+) -> tuple[tuple[Finding, ...], int]:
+    """Analyze one module's source; returns (findings, suppressed count).
+
+    ``path`` is used for rule path filters and finding locations; it does
+    not need to exist on disk (fixture tests lint inline snippets).
+    """
+    posix = Path(path).as_posix()
+    try:
+        ctx = ModuleContext.parse(posix, source)
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {posix}: {exc}") from exc
+    allowed = suppressed_lines(source)
+    findings: list[Finding] = []
+    suppressed = 0
+    for rule in rules if rules is not None else select_rules():
+        if not rule.applies_to(posix):
+            continue
+        for line, col, message in rule.check(ctx):
+            if rule.rule_id in allowed.get(line, ()):
+                suppressed += 1
+                continue
+            findings.append(
+                Finding(
+                    path=posix,
+                    line=line,
+                    col=col,
+                    rule_id=rule.rule_id,
+                    severity=rule.severity.value,
+                    message=message,
+                )
+            )
+    return tuple(sorted(findings)), suppressed
+
+
+def analyze_paths(
+    paths: Iterable[str | Path], select: Sequence[str] | None = None
+) -> LintReport:
+    """Run the analyzer over files and directories; the one entry point."""
+    rules = select_rules(select)
+    files = discover_files(paths)
+    findings: list[Finding] = []
+    suppressed = 0
+    for file in files:
+        try:
+            source = file.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {file}: {exc}") from exc
+        file_findings, file_suppressed = analyze_source(
+            source, str(file), rules=rules
+        )
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    return LintReport(
+        findings=tuple(sorted(findings)),
+        files_scanned=len(files),
+        suppressed=suppressed,
+    )

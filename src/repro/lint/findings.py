@@ -1,0 +1,53 @@
+"""The value objects of the invariant analyzer: findings and severities.
+
+A :class:`Finding` is one rule violation at one source location — plain,
+frozen, orderable data, so reports sort deterministically (path, line,
+column, rule) and serialize to JSON unchanged.  The analyzer produces them;
+the reporters (:mod:`repro.lint.report`) and the service-layer
+:class:`~repro.api.results.LintResult` only consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from enum import Enum
+from typing import Any, Mapping
+
+
+class Severity(str, Enum):
+    """How a finding gates the exit status.
+
+    ``ERROR`` findings fail every run; ``WARNING`` findings fail only under
+    ``--strict`` (the mode CI runs).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        """The canonical one-line rendering (``path:line:col: RLxxx ...``)."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-safe)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output."""
+        return cls(**dict(data))

@@ -1,0 +1,34 @@
+"""Text rendering of analyzer output (the CLI's non-JSON mode).
+
+JSON rendering lives on the service-layer response type
+(:class:`~repro.api.results.LintResult`) like every other command; this
+module only formats for humans.
+"""
+
+from __future__ import annotations
+
+from repro.lint.analyzer import LintReport
+from repro.lint.rules import RULES
+
+
+def render_report(report: LintReport, strict: bool = False) -> str:
+    """One line per finding plus a verdict summary line."""
+    lines = [finding.format() for finding in report.findings]
+    verdict = "clean" if report.clean(strict) else "FAILED"
+    mode = " (strict)" if strict else ""
+    lines.append(
+        f"{verdict}{mode}: {len(report.findings)} finding(s) "
+        f"({report.n_errors} error(s), {report.n_warnings} warning(s)), "
+        f"{report.suppressed} suppressed, {report.files_scanned} file(s) scanned"
+    )
+    return "\n".join(lines)
+
+
+def render_rules() -> str:
+    """The registry documentation (``repro lint --list-rules``)."""
+    lines = []
+    for rule_id in sorted(RULES):
+        rule = RULES[rule_id]
+        lines.append(rule.doc)
+        lines.append(f"       {rule.rationale}")
+    return "\n".join(lines)

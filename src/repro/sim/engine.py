@@ -20,6 +20,7 @@ governor's bisection.
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Sequence
@@ -106,10 +107,12 @@ class PerformanceSimulator:
         self._power = power_model if power_model is not None else PowerModel(spec)
         self._reference_cache: dict[tuple, float] = {}
         self._run_cache: OrderedDict[tuple, CoRunResult] = OrderedDict()
-        # Signature memo keyed by object identity; the stored kernel
-        # reference keeps the id from being recycled, and frozen kernels
-        # cannot change fields after construction.
-        self._kernel_sig_cache: dict[int, tuple[KernelCharacteristics, tuple]] = {}
+        # Signature memo keyed by object identity with a weakref guard: a
+        # dead kernel's recycled address can never alias a fresh one, and
+        # dead entries evict themselves via the ref callback.
+        self._kernel_sig_cache: dict[
+            int, tuple[weakref.ref[KernelCharacteristics], tuple]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Accessors
@@ -305,10 +308,16 @@ class PerformanceSimulator:
         """Hashable snapshot of every kernel field the pipeline reads.
 
         ``KernelCharacteristics`` itself is unhashable (``pipe_fractions``
-        is a dict), so the memo keys on the field values directly.
+        is a dict), so the memo keys on ``id(kernel)`` — with a weakref
+        identity guard: the stored ref must still point at *this* kernel,
+        so a dead kernel's recycled address can never alias a fresh one,
+        and the ref's callback evicts the entry instead of pinning the
+        kernel alive forever.
         """
-        entry = self._kernel_sig_cache.get(id(kernel))
-        if entry is not None and entry[0] is kernel:
+        cache = self._kernel_sig_cache
+        key = id(kernel)
+        entry = cache.get(key)
+        if entry is not None and entry[0]() is kernel:
             return entry[1]
         signature = (
             kernel.name,
@@ -321,7 +330,13 @@ class PerformanceSimulator:
             kernel.working_set_mb,
             kernel.l2_sensitivity,
         )
-        self._kernel_sig_cache[id(kernel)] = (kernel, signature)
+        try:
+            ref = weakref.ref(kernel, lambda _, c=cache, k=key: c.pop(k, None))
+        except TypeError:
+            # A slotted kernel subclass without __weakref__: skip the memo
+            # rather than risk an unguarded id-keyed entry.
+            return signature
+        cache[key] = (ref, signature)
         return signature
 
     def _build_placements(

@@ -1,0 +1,15 @@
+"""RL005 true positives: a non-frozen dataclass in an api/ module, plus a
+mutable default argument."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class LeakyRequest:
+    apps: tuple
+    alpha: float = 0.2
+
+
+def collect(name, into=[]):
+    into.append(name)
+    return into

@@ -1,0 +1,15 @@
+"""RL005 clean negatives: frozen dataclass, None-defaulted builder."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrozenRequest:
+    apps: tuple
+    alpha: float = 0.2
+
+
+def collect(name, into=None):
+    bucket = [] if into is None else into
+    bucket.append(name)
+    return bucket

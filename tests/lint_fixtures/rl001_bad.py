@@ -1,0 +1,18 @@
+"""RL001 true positive: id()-keyed memo without a weakref identity guard.
+
+This is the PR-7 flake class: the memo answers for a dead object whose
+address got recycled by a fresh one.
+"""
+
+
+class SignatureMemo:
+    def __init__(self):
+        self._cache = {}
+
+    def signature(self, obj):
+        entry = self._cache.get(id(obj))
+        if entry is not None:
+            return entry
+        signature = (obj.name, obj.value)
+        self._cache[id(obj)] = signature
+        return signature

@@ -1,0 +1,37 @@
+"""RL001 clean negatives: both accepted identity-memo idioms.
+
+``WeakGuardedMemo`` is the repaired engine/workflow idiom (id-keyed with a
+weakref identity proof); ``LastSeen`` is the pure-weakref scheduler idiom.
+"""
+
+import weakref
+
+
+class WeakGuardedMemo:
+    def __init__(self):
+        self._cache = {}
+
+    def signature(self, obj):
+        key = id(obj)
+        entry = self._cache.get(key)
+        if entry is not None and entry[0]() is obj:
+            return entry[1]
+        signature = (obj.name, obj.value)
+        ref = weakref.ref(obj, lambda _, c=self._cache, k=key: c.pop(k, None))
+        self._cache[key] = (ref, signature)
+        return signature
+
+
+class LastSeen:
+    def __init__(self):
+        self._last = None
+        self._value = None
+
+    def remember(self, obj, value):
+        self._last = weakref.ref(obj)
+        self._value = value
+
+    def recall(self, obj):
+        if self._last is not None and self._last() is obj:
+            return self._value
+        return None

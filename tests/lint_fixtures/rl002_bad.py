@@ -1,0 +1,16 @@
+"""RL002 true positives: unordered set iteration escaping into results."""
+
+
+def fit_rows(samples):
+    rows = []
+    for name in set(samples):
+        rows.append((name, len(name)))
+    return rows
+
+
+def serialize(tags):
+    return list({tag.lower() for tag in tags})
+
+
+def index_of(names):
+    return {name: position for position, name in enumerate(frozenset(names))}

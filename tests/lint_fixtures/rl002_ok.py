@@ -1,0 +1,21 @@
+"""RL002 clean negatives: sorted wrappers and order-free set uses."""
+
+
+def fit_rows(samples):
+    rows = []
+    for name in sorted(set(samples)):
+        rows.append((name, len(name)))
+    return rows
+
+
+def serialize(tags):
+    return sorted({tag.lower() for tag in tags})
+
+
+def unique_lower(tags):
+    # A set built from a set stays order-free; nothing escapes ordered.
+    return {tag.lower() for tag in set(tags)}
+
+
+def contains(names, name):
+    return name in {"stream", "hgemm"} or name in set(names)

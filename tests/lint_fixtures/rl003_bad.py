@@ -1,0 +1,27 @@
+"""RL003 true positive: membership mutation without a version bump.
+
+``sneak_in`` changes the queue content that version-keyed memos are built
+from, but leaves the counter untouched — downstream plan caches keep
+serving the pre-mutation plan.
+"""
+
+
+class LeakyQueue:
+    def __init__(self):
+        self._jobs = []
+        self._version = 0
+
+    @property
+    def version(self):
+        return self._version
+
+    def submit(self, job):
+        self._jobs.append(job)
+        self._version += 1
+
+    def sneak_in(self, job):
+        self._jobs.append(job)
+
+    def drop_first(self):
+        jobs = self._jobs
+        del jobs[0]

@@ -1,0 +1,37 @@
+"""RL003 clean negatives: every membership mutation bumps the counter.
+
+``advance_clock`` shows the intended exemption: plain attribute
+assignment (a clock, not content) does not require a bump.  ``Plain`` has
+no version counter at all, so the rule does not apply to it.
+"""
+
+
+class CoherentQueue:
+    def __init__(self):
+        self._jobs = []
+        self._clock = 0.0
+        self._version = 0
+
+    @property
+    def version(self):
+        return self._version
+
+    def submit(self, job):
+        self._jobs.append(job)
+        self._version += 1
+
+    def remove_first(self):
+        jobs = self._jobs
+        del jobs[0]
+        self._version += 1
+
+    def advance_clock(self, time):
+        self._clock = time
+
+
+class Plain:
+    def __init__(self):
+        self._items = []
+
+    def add(self, item):
+        self._items.append(item)

@@ -1,0 +1,18 @@
+"""RL004 true positives: numpy reductions in a power-budget module.
+
+The file name matches the rule's parity-pinned path scope.
+"""
+
+import numpy as np
+
+
+def total_demand(extra_demand):
+    return float(np.sum(extra_demand))
+
+
+def total_minimum(minimum_w):
+    return float(minimum_w.sum())
+
+
+def total_budget(allocation):
+    return float(sum(allocation))

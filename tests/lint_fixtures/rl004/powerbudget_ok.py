@@ -1,0 +1,14 @@
+"""RL004 clean negatives: the pinned sequential-summation idiom."""
+
+
+def total_demand(extra_demand):
+    # The parity pin: plain Python floats, added left to right.
+    return float(sum(extra_demand.tolist()))
+
+
+def total_allocation(allocation):
+    return sum(allocation.values())
+
+
+def headroom(budget_w, loads):
+    return budget_w - sum(load.power_w for load in loads)

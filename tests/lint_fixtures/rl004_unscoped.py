@@ -1,0 +1,8 @@
+"""RL004 scope negative: numpy reductions outside the parity-pinned
+power-budget paths are legitimate (training fits, figure summaries)."""
+
+import numpy as np
+
+
+def fit_row(j_matrix):
+    return np.sum(j_matrix, axis=0)

@@ -1,0 +1,11 @@
+"""RL005 scope negative: a non-frozen dataclass outside api/ is allowed
+(engine state mutates freely); mutable defaults are flagged anywhere, so
+this file keeps none."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class EngineCounters:
+    events: int = 0
+    decisions: int = 0

@@ -1,0 +1,20 @@
+"""RL006 true positives: global-RNG calls (module functions, np.random
+legacy API, and bare names imported from random)."""
+
+import random
+from random import choice
+
+import numpy as np
+
+
+def jitter():
+    return random.random()
+
+
+def reseed(seed):
+    np.random.seed(seed)
+    return np.random.rand(4)
+
+
+def pick(items):
+    return choice(items)

@@ -1,0 +1,15 @@
+"""RL006 clean negatives: locally seeded generators only."""
+
+import random
+
+import numpy as np
+
+
+def jitter(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def samples(seed):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=4)

@@ -1,0 +1,19 @@
+"""Suppression fixtures: one inline pragma, one comment-line pragma with a
+multi-line justification, and one pragma naming a different rule (which
+therefore suppresses nothing)."""
+
+import random
+
+
+def jitter():
+    return random.random()  # repro: allow[RL006] fixture exercises pragmas
+
+
+def jitter_above():
+    # repro: allow[RL006] the justification may span several comment
+    # lines; the pragma covers the next code line after the comments
+    return random.random()
+
+
+def jitter_wrong_rule():
+    return random.random()  # repro: allow[RL001] wrong rule: stays a finding
